@@ -1,0 +1,70 @@
+"""E12 (extension) — prototype vs final platform, and batch headroom.
+
+Quantifies two statements the paper makes in passing:
+
+- Section IV: the design "was initially prototyped on a multi-board
+  platform based on low-end devices (Altera Cyclone V) then extended
+  to a hybrid on-/off-chip solution relying on a larger device" — the
+  deployment model shows the off-chip links exposing the hypercube
+  exchange that the on-chip design hides;
+- Section V: "the unused resources might be used to achieve further
+  performance improvements, although this was not exploited" — the
+  batch scheduler shows the three-stage macro-pipeline those resources
+  enable (~1.33× steady-state throughput).
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.hw.batch import schedule_batch
+from repro.hw.deployment import (
+    CYCLONE_MULTI_BOARD,
+    STRATIX_ON_CHIP,
+    evaluate_deployment,
+)
+from repro.hw.timing import PAPER_TIMING
+
+
+def test_deployment_comparison(benchmark, artifact_dir):
+    def run():
+        return (
+            evaluate_deployment(CYCLONE_MULTI_BOARD),
+            evaluate_deployment(STRATIX_ON_CHIP),
+        )
+
+    prototype, final = benchmark(run)
+
+    lines = [
+        prototype.render(),
+        f"  T_MULT = {prototype.multiplication_time_us(65536):.2f} us",
+        "",
+        final.render(),
+        f"  T_MULT = {final.multiplication_time_us(65536):.2f} us",
+        "",
+        f"final/prototype FFT speedup: "
+        f"{prototype.fft_time_us / final.fft_time_us:.2f}x "
+        "(clock x2, exchange hiding, on-chip links)",
+    ]
+    write_artifact(artifact_dir, "deployments.txt", "\n".join(lines))
+
+    assert final.fits and prototype.fits
+    assert sum(s.exposed_cycles for s in final.stages) == 0
+    assert sum(s.exposed_cycles for s in prototype.stages) > 0
+    assert final.fft_time_us < prototype.fft_time_us / 3
+
+
+def test_batch_throughput_headroom(benchmark, artifact_dir):
+    schedule = benchmark(schedule_batch, 64)
+
+    serial_us = PAPER_TIMING.multiplication_time_us()
+    lines = [
+        schedule.render(),
+        "",
+        f"serial latency per product: {serial_us:.2f} us",
+        f"pipelined steady-state per product: "
+        f"{schedule.steady_state_interval * 5 / 1000:.2f} us",
+        "the dot-product multipliers and carry adder run concurrently "
+        "with the next product's transforms",
+    ]
+    write_artifact(artifact_dir, "batch_throughput.txt", "\n".join(lines))
+
+    assert schedule.throughput_speedup > 1.25
+    assert schedule.steady_state_interval == 3 * PAPER_TIMING.fft_cycles()

@@ -1,0 +1,67 @@
+"""E10 — software NTT kernel throughput (supporting measurements).
+
+Times the actual Python/numpy kernels that power the functional models:
+the vectorized radix-2 path, the paper's staged radix-64/64/16 path,
+the scalar shift-only radix-64 kernels, and field-arithmetic
+primitives.  These are the library's real performance numbers (the
+hardware numbers come from the cycle model, not from these).
+"""
+
+import numpy as np
+import pytest
+
+from repro.field.solinas import P
+from repro.field.vector import to_field_array, vmul
+from repro.hw.modmul import ModularMultiplier
+from repro.ntt.plan import paper_64k_plan, plan_for_size
+from repro.ntt.radix2 import ntt_radix2_numpy
+from repro.ntt.radix64 import ntt64_two_stage, ntt_shift_radix
+from repro.ntt.staged import execute_plan
+
+
+@pytest.fixture(scope="module")
+def vec64k():
+    rng = np.random.default_rng(7)
+    return rng.integers(0, P, size=65536, dtype=np.uint64)
+
+
+def test_vmul_64k(benchmark, vec64k):
+    """Vectorized Goldilocks multiply, 64K elements."""
+    benchmark(vmul, vec64k, vec64k[::-1].copy())
+
+
+def test_radix2_ntt_64k(benchmark, vec64k):
+    """Radix-2 numpy NTT, 64K points."""
+    benchmark(ntt_radix2_numpy, vec64k)
+
+
+def test_staged_ntt_64k_paper_plan(benchmark, vec64k):
+    """The paper's three-stage 64·64·16 plan, 64K points."""
+    plan = paper_64k_plan()
+    benchmark(execute_plan, vec64k, plan)
+
+
+def test_staged_ntt_4k(benchmark):
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, P, size=4096, dtype=np.uint64)
+    plan = plan_for_size(4096, (64, 64))
+    benchmark(execute_plan, data, plan)
+
+
+def test_scalar_radix64_direct(benchmark, rng):
+    """Baseline 64-chain evaluation (Eq. 3), scalar."""
+    x = [rng.randrange(P) for _ in range(64)]
+    benchmark(ntt_shift_radix, x, 64)
+
+
+def test_scalar_radix64_two_stage(benchmark, rng):
+    """Optimized Eq. 5 dataflow, scalar."""
+    x = [rng.randrange(P) for _ in range(64)]
+    benchmark(ntt64_two_stage, x)
+
+
+def test_modmul_datapath(benchmark, rng):
+    """One DSP-style modular multiply through the 32-bit limb path."""
+    m = ModularMultiplier()
+    a, b = rng.randrange(P), rng.randrange(P)
+    benchmark(m.multiply, a, b)

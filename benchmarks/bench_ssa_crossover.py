@@ -1,0 +1,79 @@
+"""E7 — the SSA-vs-classical crossover (Section III's ≥100,000-bit claim).
+
+Two views:
+
+- *measured*: wall-clock times of our schoolbook, Karatsuba, Toom-3 and
+  SSA implementations at growing operand sizes (pytest-benchmark timing
+  on the paper-size SSA multiply);
+- *modeled*: limb-operation counts locating the crossover analytically.
+
+Python-level constant factors differ from hardware, so the measured
+table is evidence of the trend while the op-count model carries the
+crossover claim.
+"""
+
+import time
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.sweep import crossover_point, operand_size_sweep
+from repro.analysis.tables import shape_check
+from repro.ssa.baselines import (
+    karatsuba_multiply,
+    schoolbook_multiply,
+    toom3_multiply,
+)
+from repro.ssa.multiplier import SSAMultiplier
+
+
+def _time_once(func, *args) -> float:
+    start = time.perf_counter()
+    func(*args)
+    return time.perf_counter() - start
+
+
+def test_crossover_study(benchmark, artifact_dir, rng):
+    lines = [
+        "SSA vs classical multipliers",
+        "",
+        "measured wall clock (our implementations, one shot):",
+        f"{'bits':>9} {'schoolbook':>11} {'karatsuba':>11} "
+        f"{'toom3':>11} {'ssa':>11}",
+    ]
+    for bits in (4096, 16384, 65536):
+        a, b = rng.getrandbits(bits), rng.getrandbits(bits)
+        ssa = SSAMultiplier.for_bits(bits)
+        row = [
+            _time_once(schoolbook_multiply, a, b),
+            _time_once(karatsuba_multiply, a, b),
+            _time_once(toom3_multiply, a, b),
+            _time_once(ssa.multiply, a, b),
+        ]
+        lines.append(
+            f"{bits:>9} " + " ".join(f"{t:>10.4f}s" for t in row)
+        )
+
+    # The paper-size SSA multiply is the timed benchmark target.
+    big = 786_432
+    a, b = rng.getrandbits(big), rng.getrandbits(big)
+    ssa_full = SSAMultiplier()
+
+    product = benchmark.pedantic(
+        lambda: ssa_full.multiply(a, b), rounds=1, iterations=1
+    )
+    assert product == a * b
+
+    lines += ["", "modeled limb-operation counts:"]
+    lines.append(f"{'bits':>9} {'schoolbook':>12} {'karatsuba':>12} {'ssa':>12}")
+    for point in operand_size_sweep():
+        lines.append(
+            f"{point.bits:>9} {point.schoolbook:>12.3g} "
+            f"{point.karatsuba:>12.3g} {point.ssa:>12.3g}"
+        )
+
+    karatsuba_x = crossover_point("karatsuba")
+    check = shape_check(
+        "SSA/Karatsuba crossover (bits)", karatsuba_x, 100_000, tolerance=0.5
+    )
+    lines += ["", check.render(), "paper: 'at least 100,000 bits'"]
+    write_artifact(artifact_dir, "ssa_crossover.txt", "\n".join(lines))
+    assert check.ok

@@ -1,0 +1,93 @@
+"""E3 — regenerate paper Table I (resource usage comparison).
+
+The benchmark times the full structural census; the artifact is the
+computed table next to the paper's printed numbers, plus the
+per-component breakdowns the paper aggregates away.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.tables import shape_check
+from repro.hw.reports import (
+    PAPER_TABLE1,
+    baseline_fft_census,
+    proposed_fft_census,
+    table1_report,
+)
+
+
+def test_table1_resource_census(benchmark, artifact_dir):
+    table = benchmark(table1_report)
+
+    checks = [
+        shape_check(
+            "proposed ALMs",
+            table.row("proposed").alms,
+            PAPER_TABLE1["proposed"]["alms"],
+        ),
+        shape_check(
+            "proposed registers",
+            table.row("proposed").registers,
+            PAPER_TABLE1["proposed"]["registers"],
+            tolerance=0.25,
+        ),
+        shape_check(
+            "proposed DSP",
+            table.row("proposed").dsp_blocks,
+            PAPER_TABLE1["proposed"]["dsp_blocks"],
+            tolerance=0.0,
+        ),
+        shape_check(
+            "baseline ALMs",
+            table.row("baseline[28]").alms,
+            PAPER_TABLE1["baseline[28]"]["alms"],
+        ),
+        shape_check(
+            "baseline registers",
+            table.row("baseline[28]").registers,
+            PAPER_TABLE1["baseline[28]"]["registers"],
+            tolerance=0.25,
+        ),
+        shape_check(
+            "baseline DSP",
+            table.row("baseline[28]").dsp_blocks,
+            PAPER_TABLE1["baseline[28]"]["dsp_blocks"],
+            tolerance=0.0,
+        ),
+        shape_check(
+            "hardware saving (ALM+reg+DSP mean)",
+            (
+                table.saving("alms")
+                + table.saving("registers")
+                + table.saving("dsp_blocks")
+            )
+            / 3,
+            0.60,
+            tolerance=0.12,
+        ),
+    ]
+
+    lines = [table.render(), "", "shape checks:"]
+    lines += [c.render() for c in checks]
+    lines += ["", proposed_fft_census().render(), "", baseline_fft_census().render()]
+    write_artifact(artifact_dir, "table1_resources.txt", "\n".join(lines))
+
+    assert all(c.ok for c in checks)
+
+
+def test_table1_calibration_sensitivity(benchmark, artifact_dir):
+    """The saving conclusion under ±30% perturbation of every unit cost
+    — evidence that Table I's comparison is structural."""
+    from repro.analysis.sensitivity import (
+        render_sensitivity,
+        savings_envelope,
+        savings_sensitivity,
+    )
+
+    points = benchmark.pedantic(savings_sensitivity, rounds=1, iterations=1)
+    write_artifact(
+        artifact_dir,
+        "table1_sensitivity.txt",
+        render_sensitivity(points),
+    )
+    low, high = savings_envelope(points)
+    assert 0.45 < low and high < 0.75

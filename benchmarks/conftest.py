@@ -1,0 +1,33 @@
+"""Shared benchmark helpers.
+
+Every benchmark both *times* a representative computation (via
+pytest-benchmark) and *regenerates* the corresponding table/figure of
+the paper, writing the artifact to ``benchmarks/output/`` so the
+reproduction evidence persists after the run.
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xDA7E2016)
+
+
+def write_artifact(directory: Path, name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it to the log."""
+    path = directory / name
+    path.write_text(text + "\n")
+    print(f"\n--- {name} ---")
+    print(text)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Encrypted statistics with RLWE — the lattice side of the paper.
+
+Section III notes that the ultralong multiplier also serves schemes
+"based on Lattice problems and Learning with Errors".  This example
+runs a ring-LWE workload on the same NTT machinery the accelerator
+implements (negacyclic convolutions over GF(2^64 − 2^32 + 1)):
+
+- a clinic packs 1024 patients' daily step counts into one RLWE
+  plaintext polynomial and encrypts it;
+- the untrusted aggregator sums a week of encrypted vectors (SIMD
+  addition) and applies a selection mask via plaintext multiplication;
+- the clinic decrypts only the aggregate.
+
+Run:  python examples/rlwe_statistics.py
+"""
+
+import random
+
+from repro.fhe.rlwe import RLWE, RLWEParams
+
+DAYS = 7
+PATIENTS = 1024
+#: Step counts are bucketed to hundreds, capped at t-1.
+T = 1024
+
+
+def main() -> None:
+    rng = random.Random(8080)
+    params = RLWEParams(n=PATIENTS, t=T, noise_bound=6)
+    scheme = RLWE(params, rng=rng)
+    secret = scheme.generate_secret()
+    print(
+        f"RLWE over Z_p[x]/(x^{params.n} + 1), p = 2^64 - 2^32 + 1, "
+        f"plaintext modulus t = {params.t}\n"
+    )
+
+    week = [
+        [rng.randrange(0, 120) for _ in range(PATIENTS)] for _ in range(DAYS)
+    ]
+
+    print(f"clinic encrypts {DAYS} daily vectors of {PATIENTS} patients...")
+    encrypted_days = [scheme.encrypt(secret, day) for day in week]
+
+    print("aggregator sums the encrypted week (SIMD add)...")
+    total = encrypted_days[0]
+    for day in encrypted_days[1:]:
+        total = scheme.add(total, day)
+
+    print("aggregator masks out the control group (plaintext multiply)...\n")
+    mask = [1 if i % 4 == 0 else 0 for i in range(PATIENTS)]
+    masked = scheme.multiply_plain(total, mask)
+
+    decrypted = scheme.decrypt(secret, masked)
+    expected_sums = [
+        sum(week[d][i] for d in range(DAYS)) % T for i in range(PATIENTS)
+    ]
+    # The mask is a polynomial product, so position k of the result is a
+    # negacyclic convolution; with a {0,1} "diagonal" mask every 4th
+    # position, position k collects patients k, k-4, ... — we verify the
+    # full convolution instead of pretending it's elementwise.
+    from repro.field.solinas import P
+
+    check = [0] * PATIENTS
+    for i in range(PATIENTS):
+        for j in range(PATIENTS):
+            k = i + j
+            term = expected_sums[i] * mask[j]
+            if k < PATIENTS:
+                check[k] += term
+            else:
+                check[k - PATIENTS] -= term
+    check = [c % T for c in check]
+    status = "match" if decrypted == check else "MISMATCH"
+    print(f"decrypted aggregate vs plaintext recomputation: {status}")
+    assert decrypted == check
+
+    sample = [(i, decrypted[i]) for i in (0, 4, 8, 100, 1020)]
+    print("sample positions:", sample)
+    print(
+        f"\nevery homomorphic step above ran {2 * DAYS + 2} negacyclic "
+        f"NTT products of degree {PATIENTS} — the radix-64 shift "
+        "butterflies of the accelerator, with twisted twiddles"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim for editable installs on older setuptools."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — reproduction of the DATE 2016 FPGA accelerator for
+homomorphic encryption (Cilardo & Argenziano).
+
+The library implements, in Python, every system the paper describes:
+
+- :mod:`repro.field` — arithmetic in GF(p), p = 2**64 − 2**32 + 1;
+- :mod:`repro.ntt` — number-theoretic transforms, from the O(n²)
+  oracle to the paper's three-stage radix-64/64/16 64K-point plan;
+- :mod:`repro.ssa` — Schönhage–Strassen multiplication of 786,432-bit
+  operands (plus classical baselines);
+- :mod:`repro.sim` — a small cycle-based simulation kernel;
+- :mod:`repro.hw` — functional, cycle and resource models of the
+  accelerator (FFT-64 unit, banked memories, modular multipliers,
+  processing elements, hypercube, Tables I–II generators);
+- :mod:`repro.fhe` — the DGHV homomorphic-encryption workload;
+- :mod:`repro.analysis` — sweeps and shape checks for the evaluation.
+
+Quickstart::
+
+    from repro import SSAMultiplier, HEAccelerator
+
+    product = SSAMultiplier().multiply(a, b)          # bit-exact SSA
+    product, report = HEAccelerator().multiply(a, b)  # + cycle timing
+    print(report.render())                            # ≈122 us
+"""
+
+from repro.field.solinas import P
+from repro.ssa import SSAMultiplier, ssa_multiply, PAPER_PARAMETERS
+from repro.ntt import paper_64k_plan, plan_for_size
+from repro.hw import (
+    HEAccelerator,
+    AcceleratorTiming,
+    PAPER_TIMING,
+    table1_report,
+    table2_report,
+)
+from repro.fhe import DGHV, SMALL_DGHV, TOY
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "P",
+    "SSAMultiplier",
+    "ssa_multiply",
+    "PAPER_PARAMETERS",
+    "paper_64k_plan",
+    "plan_for_size",
+    "HEAccelerator",
+    "AcceleratorTiming",
+    "PAPER_TIMING",
+    "table1_report",
+    "table2_report",
+    "DGHV",
+    "SMALL_DGHV",
+    "TOY",
+    "__version__",
+]

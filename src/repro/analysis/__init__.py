@@ -1,0 +1,25 @@
+"""Evaluation helpers: paper constants, sweeps, and formatting."""
+
+from repro.analysis.tables import (
+    PAPER_FFT_US,
+    PAPER_MULT_US,
+    PAPER_SPEEDUP_VS_28,
+    shape_check,
+)
+from repro.analysis.sweep import (
+    pe_scaling_sweep,
+    radix_plan_sweep,
+    operand_size_sweep,
+    crossover_point,
+)
+
+__all__ = [
+    "PAPER_FFT_US",
+    "PAPER_MULT_US",
+    "PAPER_SPEEDUP_VS_28",
+    "shape_check",
+    "pe_scaling_sweep",
+    "radix_plan_sweep",
+    "operand_size_sweep",
+    "crossover_point",
+]

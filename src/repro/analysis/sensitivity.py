@@ -1,0 +1,116 @@
+"""Sensitivity of the Table I conclusion to the calibration constants.
+
+The resource census uses a handful of calibrated unit costs
+(DESIGN.md §6).  A fair question: does the paper's ~60% hardware-saving
+conclusion depend on those choices?  This module recomputes the census
+under perturbed constants and reports the spread of the savings ratio —
+demonstrating that the *comparison* is carried by structure (64→8
+reductors, shared chains, 8-vs-64-wide memory) rather than by the
+absolute calibration.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.hw import resources as rc
+
+
+@contextmanager
+def perturbed_unit_costs(
+    adder: float = 1.0,
+    csa: float = 1.0,
+    mux: float = 1.0,
+    overhead: float = 1.0,
+) -> Iterator[None]:
+    """Temporarily scale the census unit costs (multiplicative)."""
+    saved = (
+        rc.ALM_PER_ADDER_BIT,
+        rc.ALM_PER_CSA_BIT,
+        rc.ALM_PER_MUX4_BIT,
+        rc.CONTROL_OVERHEAD,
+    )
+    try:
+        rc.ALM_PER_ADDER_BIT = saved[0] * adder
+        rc.ALM_PER_CSA_BIT = saved[1] * csa
+        rc.ALM_PER_MUX4_BIT = saved[2] * mux
+        rc.CONTROL_OVERHEAD = saved[3] * overhead
+        yield
+    finally:
+        (
+            rc.ALM_PER_ADDER_BIT,
+            rc.ALM_PER_CSA_BIT,
+            rc.ALM_PER_MUX4_BIT,
+            rc.CONTROL_OVERHEAD,
+        ) = saved
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Savings under one perturbation of the unit costs."""
+
+    label: str
+    scale: float
+    alm_saving: float
+    register_saving: float
+
+
+def _current_savings() -> Tuple[float, float]:
+    # Import inside so the census sees the perturbed constants.
+    from repro.hw.reports import table1_report
+
+    table = table1_report()
+    return table.saving("alms"), table.saving("registers")
+
+
+def savings_sensitivity(
+    scales: Tuple[float, ...] = (0.7, 0.85, 1.0, 1.15, 1.3),
+) -> List[SensitivityPoint]:
+    """Sweep each unit cost over ``scales``; collect the savings."""
+    points: List[SensitivityPoint] = []
+    knobs: Dict[str, str] = {
+        "adder": "ALMs/adder-bit",
+        "csa": "ALMs/CSA-bit",
+        "mux": "ALMs/mux-bit",
+        "overhead": "control overhead",
+    }
+    for knob, label in knobs.items():
+        for scale in scales:
+            with perturbed_unit_costs(**{knob: scale}):
+                alm, reg = _current_savings()
+            points.append(
+                SensitivityPoint(
+                    label=label,
+                    scale=scale,
+                    alm_saving=alm,
+                    register_saving=reg,
+                )
+            )
+    return points
+
+
+def savings_envelope(
+    points: List[SensitivityPoint],
+) -> Tuple[float, float]:
+    """(min, max) of the ALM saving across all perturbations."""
+    savings = [p.alm_saving for p in points]
+    return min(savings), max(savings)
+
+
+def render_sensitivity(points: List[SensitivityPoint]) -> str:
+    lines = [
+        f"{'unit cost':<20}{'scale':>7}{'ALM saving':>12}{'reg saving':>12}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.label:<20}{p.scale:>7.2f}{p.alm_saving:>11.0%}"
+            f"{p.register_saving:>12.0%}"
+        )
+    low, high = savings_envelope(points)
+    lines.append(
+        f"\nALM-saving envelope over all perturbations: "
+        f"{low:.0%} .. {high:.0%} (paper: ~60%)"
+    )
+    return "\n".join(lines)

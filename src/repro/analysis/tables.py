@@ -1,0 +1,71 @@
+"""Paper-reported constants and shape-preservation checks.
+
+The reproduction bar (see EXPERIMENTS.md): absolute numbers come from a
+model rather than Quartus synthesis, so what must hold is the *shape* —
+who wins, by what factor, where crossovers fall.  ``shape_check``
+encodes that comparison uniformly for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Section V headline numbers.
+PAPER_FFT_US = 30.7
+PAPER_MULT_US = 122.0
+PAPER_DOTPROD_US = 10.2
+PAPER_CARRY_US = 20.0
+#: "The execution time of [28] is 3.32X larger..."
+PAPER_SPEEDUP_VS_28 = 3.32
+#: "...while the other results are 1.69X larger, or more."
+PAPER_MIN_SPEEDUP_OTHERS = 1.69
+#: "around 60% saving in hardware costs" (Table I discussion).
+PAPER_HARDWARE_SAVING = 0.60
+
+
+@dataclass(frozen=True)
+class ShapeResult:
+    """Outcome of one shape comparison."""
+
+    name: str
+    measured: float
+    reference: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.reference
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.ratio - 1.0) <= self.tolerance
+
+    def render(self) -> str:
+        status = "OK " if self.ok else "OFF"
+        return (
+            f"[{status}] {self.name}: measured {self.measured:.3g} vs "
+            f"paper {self.reference:.3g} (ratio {self.ratio:.2f}, "
+            f"tol ±{self.tolerance:.0%})"
+        )
+
+
+def shape_check(
+    name: str,
+    measured: float,
+    reference: float,
+    tolerance: float = 0.15,
+) -> ShapeResult:
+    """Compare a measured quantity against the paper's value.
+
+    ``tolerance`` is the relative deviation accepted; benchmarks print
+    the result and tests assert ``.ok``.
+    """
+    if reference == 0:
+        raise ValueError("reference must be nonzero")
+    return ShapeResult(
+        name=name,
+        measured=measured,
+        reference=reference,
+        tolerance=tolerance,
+    )

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+- ``table1`` — regenerate the Table I resource census;
+- ``table2`` — regenerate the Table II timing comparison;
+- ``fft`` — simulate a distributed NTT and print the stage schedule;
+- ``multiply`` — run one accelerated SSA multiplication (random
+  operands of a chosen width) and print the phase timing;
+- ``scaling`` — PE scaling sweep;
+- ``deployments`` — compare the Stratix V and Cyclone V realizations;
+- ``batch`` — batch-pipelined throughput schedule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.hw.reports import table1_report
+
+    print(table1_report(pes=args.pes).render())
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.hw.reports import table2_report
+
+    print(table2_report().render())
+
+
+def _cmd_fft(args: argparse.Namespace) -> None:
+    from repro.field.solinas import P
+    from repro.field.vector import to_field_array
+    from repro.hw.accelerator import HEAccelerator
+
+    rng = random.Random(args.seed)
+    accelerator = HEAccelerator(pes=args.pes)
+    data = to_field_array([rng.randrange(P) for _ in range(65536)])
+    _, report = accelerator.distributed_ntt(data)
+    print(report.render())
+
+
+def _cmd_multiply(args: argparse.Namespace) -> None:
+    from repro.hw.accelerator import HEAccelerator
+    from repro.ntt.plan import plan_for_size
+    from repro.ssa.multiplier import SSAMultiplier
+    from repro.ssa.encode import SSAParameters
+
+    rng = random.Random(args.seed)
+    if args.bits == 786_432:
+        accelerator = HEAccelerator(pes=args.pes)
+    else:
+        sizing = SSAMultiplier.for_bits(args.bits)
+        accelerator = HEAccelerator(
+            pes=args.pes,
+            plan=plan_for_size(sizing.params.transform_size),
+            params=sizing.params,
+        )
+    a = rng.getrandbits(args.bits)
+    b = rng.getrandbits(args.bits)
+    product, report = accelerator.multiply(a, b)
+    status = "OK" if product == a * b else "MISMATCH"
+    print(f"{args.bits}-bit x {args.bits}-bit product: {status}")
+    print(report.render())
+
+
+def _cmd_scaling(args: argparse.Namespace) -> None:
+    from repro.analysis.sweep import pe_scaling_sweep
+
+    print(f"{'PEs':>4} {'T_FFT us':>10} {'T_MULT us':>11} {'eff':>6}")
+    for point in pe_scaling_sweep():
+        print(
+            f"{point.pes:>4} {point.fft_us:>10.2f} {point.mult_us:>11.2f} "
+            f"{point.parallel_efficiency:>5.0%}"
+        )
+
+
+def _cmd_deployments(args: argparse.Namespace) -> None:
+    from repro.hw.deployment import (
+        CYCLONE_MULTI_BOARD,
+        STRATIX_ON_CHIP,
+        evaluate_deployment,
+    )
+
+    for spec in (CYCLONE_MULTI_BOARD, STRATIX_ON_CHIP):
+        report = evaluate_deployment(spec)
+        print(report.render())
+        print(
+            f"  T_MULT = {report.multiplication_time_us(65536):.2f} us\n"
+        )
+
+
+def _cmd_batch(args: argparse.Namespace) -> None:
+    from repro.hw.batch import schedule_batch
+
+    print(schedule_batch(args.count).render())
+
+
+def _cmd_verify(args: argparse.Namespace) -> None:
+    from repro.verify import run_self_check
+
+    ok, _ = run_self_check(verbose=True)
+    if not ok:
+        raise SystemExit(1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DATE 2016 HE-accelerator reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="resource census (Table I)")
+    p1.add_argument("--pes", type=int, default=4)
+    p1.set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="timing comparison (Table II)")
+    p2.set_defaults(func=_cmd_table2)
+
+    pf = sub.add_parser("fft", help="simulate a 64K distributed NTT")
+    pf.add_argument("--pes", type=int, default=4)
+    pf.add_argument("--seed", type=int, default=0)
+    pf.set_defaults(func=_cmd_fft)
+
+    pm = sub.add_parser("multiply", help="one accelerated multiplication")
+    pm.add_argument("--bits", type=int, default=786_432)
+    pm.add_argument("--pes", type=int, default=4)
+    pm.add_argument("--seed", type=int, default=0)
+    pm.set_defaults(func=_cmd_multiply)
+
+    ps = sub.add_parser("scaling", help="PE scaling sweep")
+    ps.set_defaults(func=_cmd_scaling)
+
+    pd = sub.add_parser("deployments", help="prototype vs final platform")
+    pd.set_defaults(func=_cmd_deployments)
+
+    pb = sub.add_parser("batch", help="batch-pipelined throughput")
+    pb.add_argument("--count", type=int, default=16)
+    pb.set_defaults(func=_cmd_batch)
+
+    pv = sub.add_parser("verify", help="run the end-to-end self-check")
+    pv.set_defaults(func=_cmd_verify)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""DGHV fully homomorphic encryption over the integers.
+
+The workload that motivates the accelerator (paper Sections I, III):
+the 786,432-bit operands of the SSA multiplier "correspond to the small
+security parameter setting for DGHV adopted in various research
+papers".  This package implements the van Dijk–Gentry–Halevi–
+Vaikuntanathan scheme (symmetric and public-key variants) with a
+pluggable big-integer multiplier, so ciphertext products can be routed
+through :class:`repro.ssa.SSAMultiplier` or the accelerator model in
+:mod:`repro.hw.accelerator`.
+
+This is a *functional* reproduction of the workload — parameters are
+sized to exercise the accelerator, not to deliver cryptographic
+security (the public-key element count ``tau`` in particular is far
+below the security requirement, as documented in
+:mod:`repro.fhe.params`).
+"""
+
+from repro.fhe.params import FHEParams, TOY, MEDIUM, SMALL_DGHV
+from repro.fhe.dghv import DGHV, KeyPair, Ciphertext
+from repro.fhe.ops import he_add, he_mult, he_xor_and_eval, NoiseBudgetError
+from repro.fhe.rlwe import RLWE, RLWEParams, RLWECiphertext
+
+__all__ = [
+    "FHEParams",
+    "TOY",
+    "MEDIUM",
+    "SMALL_DGHV",
+    "DGHV",
+    "KeyPair",
+    "Ciphertext",
+    "he_add",
+    "he_mult",
+    "he_xor_and_eval",
+    "NoiseBudgetError",
+    "RLWE",
+    "RLWEParams",
+    "RLWECiphertext",
+]

@@ -1,0 +1,179 @@
+"""Encrypted boolean circuits over DGHV — the application toolkit.
+
+Builds the full gate set from the two native homomorphic operations
+(XOR = addition, AND = multiplication) and composes them into the
+circuits the paper's application list implies (comparators, adders):
+
+- ``he_not``, ``he_or``, ``he_nand``, ``he_mux``, ``he_eq``
+- ``encrypted_ripple_add`` — an n-bit ripple-carry adder on encrypted
+  operands (2 ciphertext multiplications per bit position)
+- ``encrypted_equality`` — encrypted comparison of two bit vectors
+
+Every AND consumes one full-size integer multiplication — the
+accelerator operation — so each helper also reports its multiplication
+count, letting applications budget accelerator time directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.fhe.dghv import DGHV, Ciphertext, KeyPair
+from repro.fhe.ops import he_add, he_mult
+
+
+@dataclass
+class GateCounter:
+    """Tracks the accelerator-relevant cost of a circuit."""
+
+    and_gates: int = 0
+    xor_gates: int = 0
+
+    def cost_us(self, mult_us: float = 122.88) -> float:
+        """Accelerator time: AND gates dominate (XOR is one addition)."""
+        return self.and_gates * mult_us
+
+
+def _one(scheme: DGHV, keys: KeyPair) -> Ciphertext:
+    """An encryption of 1 (fresh randomness each call)."""
+    return scheme.encrypt(keys, 1)
+
+
+def he_not(
+    scheme: DGHV, keys: KeyPair, a: Ciphertext, counter: GateCounter = None
+) -> Ciphertext:
+    """NOT a = a XOR 1."""
+    if counter:
+        counter.xor_gates += 1
+    return he_add(a, _one(scheme, keys), x0=keys.x0)
+
+
+def he_or(
+    scheme: DGHV,
+    keys: KeyPair,
+    a: Ciphertext,
+    b: Ciphertext,
+    counter: GateCounter = None,
+) -> Ciphertext:
+    """a OR b = a XOR b XOR (a AND b)."""
+    if counter:
+        counter.and_gates += 1
+        counter.xor_gates += 2
+    ab = he_mult(scheme, a, b, x0=keys.x0)
+    return he_add(he_add(a, b, x0=keys.x0), ab, x0=keys.x0)
+
+
+def he_nand(
+    scheme: DGHV,
+    keys: KeyPair,
+    a: Ciphertext,
+    b: Ciphertext,
+    counter: GateCounter = None,
+) -> Ciphertext:
+    """NAND — the universal gate: 1 XOR (a AND b)."""
+    if counter:
+        counter.and_gates += 1
+        counter.xor_gates += 1
+    return he_not(
+        scheme, keys, he_mult(scheme, a, b, x0=keys.x0), counter=None
+    )
+
+
+def he_mux(
+    scheme: DGHV,
+    keys: KeyPair,
+    select: Ciphertext,
+    if_one: Ciphertext,
+    if_zero: Ciphertext,
+    counter: GateCounter = None,
+) -> Ciphertext:
+    """select ? if_one : if_zero = if_zero XOR select·(if_one XOR if_zero)."""
+    if counter:
+        counter.and_gates += 1
+        counter.xor_gates += 2
+    diff = he_add(if_one, if_zero, x0=keys.x0)
+    gated = he_mult(scheme, select, diff, x0=keys.x0)
+    return he_add(if_zero, gated, x0=keys.x0)
+
+
+def he_eq(
+    scheme: DGHV,
+    keys: KeyPair,
+    a: Ciphertext,
+    b: Ciphertext,
+    counter: GateCounter = None,
+) -> Ciphertext:
+    """Bit equality: NOT (a XOR b)."""
+    if counter:
+        counter.xor_gates += 2
+    return he_not(scheme, keys, he_add(a, b, x0=keys.x0))
+
+
+def encrypted_ripple_add(
+    scheme: DGHV,
+    keys: KeyPair,
+    bits_a: Sequence[Ciphertext],
+    bits_b: Sequence[Ciphertext],
+    counter: GateCounter = None,
+) -> List[Ciphertext]:
+    """n-bit ripple-carry addition of encrypted operands (LSB first).
+
+    Per position: ``sum = a ^ b ^ c``;
+    ``carry' = (a AND b) XOR (c AND (a XOR b))`` — two ciphertext
+    multiplications per bit, noise depth grows linearly with width, so
+    the usable width is bounded by the parameter set's noise budget
+    (a NoiseBudgetError is raised when exceeded, never a wrong result).
+
+    Returns ``n + 1`` ciphertext bits (including the final carry).
+    """
+    if len(bits_a) != len(bits_b):
+        raise ValueError("operand widths differ")
+    out: List[Ciphertext] = []
+    carry: Ciphertext = None
+    for a, b in zip(bits_a, bits_b):
+        axb = he_add(a, b, x0=keys.x0)
+        if counter:
+            counter.xor_gates += 1
+        if carry is None:
+            out.append(axb)
+            carry = he_mult(scheme, a, b, x0=keys.x0)
+            if counter:
+                counter.and_gates += 1
+            continue
+        out.append(he_add(axb, carry, x0=keys.x0))
+        generate = he_mult(scheme, a, b, x0=keys.x0)
+        propagate = he_mult(scheme, carry, axb, x0=keys.x0)
+        carry = he_add(generate, propagate, x0=keys.x0)
+        if counter:
+            counter.and_gates += 2
+            counter.xor_gates += 2
+    out.append(carry)
+    return out
+
+
+def encrypted_equality(
+    scheme: DGHV,
+    keys: KeyPair,
+    bits_a: Sequence[Ciphertext],
+    bits_b: Sequence[Ciphertext],
+    counter: GateCounter = None,
+) -> Ciphertext:
+    """One encrypted bit: 1 iff the two encrypted vectors are equal.
+
+    AND-reduction of per-bit equalities — ``n − 1`` multiplications,
+    log-depth would need balanced trees; a linear chain is fine for the
+    small widths the noise budget admits.
+    """
+    if len(bits_a) != len(bits_b) or not bits_a:
+        raise ValueError("need equal, nonzero widths")
+    result = None
+    for a, b in zip(bits_a, bits_b):
+        eq = he_eq(scheme, keys, a, b, counter=counter)
+        if result is None:
+            result = eq
+        else:
+            result = he_mult(scheme, result, eq, x0=keys.x0)
+            if counter:
+                counter.and_gates += 1
+    return result

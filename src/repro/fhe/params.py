@@ -1,0 +1,80 @@
+"""DGHV parameter sets.
+
+Notation follows van Dijk et al. (EUROCRYPT 2010):
+
+- ``rho``: bit-length of the fresh-ciphertext noise,
+- ``eta``: bit-length of the secret key (an odd integer),
+- ``gamma``: bit-length of a ciphertext / public-key element,
+- ``tau``: number of public-key elements.
+
+``SMALL_DGHV`` is sized so that ciphertexts are exactly the paper's
+786,432-bit operands; ``eta``/``rho`` follow the "small" setting of the
+Coron et al. line of work the paper references.  ``tau`` is reduced far
+below the security requirement (which would be > gamma + lambda) to
+keep key generation tractable — the accelerator workload (the gamma ×
+gamma-bit ciphertext product) is unaffected by ``tau``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FHEParams:
+    """One DGHV instantiation."""
+
+    name: str
+    lam: int  # nominal security parameter (informational)
+    rho: int
+    eta: int
+    gamma: int
+    tau: int
+
+    def validate(self) -> None:
+        """Sanity constraints from the DGHV correctness analysis."""
+        if not self.rho < self.eta:
+            raise ValueError("need rho < eta for decryption correctness")
+        if not self.eta < self.gamma:
+            raise ValueError("need eta < gamma")
+        if self.tau < 2:
+            raise ValueError("need at least two public-key elements")
+
+    @property
+    def ciphertext_bits(self) -> int:
+        """Ciphertext width — the SSA multiplier's operand size."""
+        return self.gamma
+
+    @property
+    def multiplicative_depth(self) -> int:
+        """Approximate supported depth before decryption fails.
+
+        Each multiplication roughly doubles the noise bit-length; fresh
+        noise is ``~rho + log2(tau)`` bits and correctness needs noise
+        below ``eta - 2``.
+        """
+        import math
+
+        fresh = self.rho + max(1, self.tau).bit_length() + 2
+        budget = self.eta - 2
+        if fresh <= 0 or budget <= fresh:
+            return 0
+        return max(0, int(math.floor(math.log2(budget / fresh))))
+
+
+#: Tiny parameters for unit tests (fast keygen, depth ≥ 2).
+TOY = FHEParams(name="toy", lam=8, rho=8, eta=96, gamma=2048, tau=8)
+
+#: Mid-size parameters for integration tests.
+MEDIUM = FHEParams(name="medium", lam=16, rho=16, eta=256, gamma=16384, tau=8)
+
+#: The paper's operating point: 786,432-bit ciphertexts (DGHV "small
+#: security parameter setting", Section III).
+SMALL_DGHV = FHEParams(
+    name="small-dghv",
+    lam=42,
+    rho=26,
+    eta=1632,
+    gamma=786_432,
+    tau=16,
+)

@@ -1,0 +1,145 @@
+"""A minimal RLWE (ring-LWE) encryption layer over the accelerator field.
+
+The paper positions the multiplier as a substrate for "solutions based
+on Lattice problems and Learning with Errors" besides integer FHE
+(Section III, citing Brakerski–Vaikuntanathan [2], [3]).  This module
+realizes that claim concretely: a symmetric BV/BFV-style scheme over
+``R_q = Z_q[x]/(x^n + 1)`` with ``q = p = 2^64 − 2^32 + 1`` — so every
+polynomial product is a negacyclic convolution on exactly the NTT
+machinery the accelerator implements.
+
+Supported operations: encrypt/decrypt of message polynomials over
+``Z_t``, homomorphic addition, and plaintext-by-ciphertext
+multiplication.  (Ciphertext-by-ciphertext multiplication needs
+relinearization keys, out of scope for this workload demonstration.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.field.solinas import P
+from repro.field.vector import vadd, vsub, to_field_array
+from repro.ntt.negacyclic import negacyclic_convolution
+
+
+@dataclass(frozen=True)
+class RLWEParams:
+    """Ring dimension, plaintext modulus and noise width."""
+
+    n: int = 1024
+    t: int = 256
+    noise_bound: int = 8
+
+    def validate(self) -> None:
+        if self.n & (self.n - 1):
+            raise ValueError("ring dimension must be a power of two")
+        if not 2 <= self.t < 1 << 32:
+            raise ValueError("plaintext modulus out of range")
+        if self.noise_bound < 1:
+            raise ValueError("noise bound must be positive")
+
+    @property
+    def delta(self) -> int:
+        """Plaintext scaling factor ``Δ = floor(q / t)``."""
+        return P // self.t
+
+
+@dataclass
+class RLWECiphertext:
+    """A pair ``(c0, c1)`` with ``c0 + c1·s ≈ Δ·m + e``."""
+
+    c0: np.ndarray
+    c1: np.ndarray
+    params: RLWEParams
+
+
+class RLWE:
+    """Symmetric RLWE encryption with NTT-backed ring products."""
+
+    def __init__(
+        self,
+        params: RLWEParams = RLWEParams(),
+        rng: Optional[random.Random] = None,
+    ):
+        params.validate()
+        self.params = params
+        self.rng = rng or random.Random()
+
+    # -- key and noise sampling -----------------------------------------
+
+    def generate_secret(self) -> np.ndarray:
+        """Ternary secret polynomial with coefficients in {-1, 0, 1}."""
+        return to_field_array(
+            [self.rng.choice((-1, 0, 1)) for _ in range(self.params.n)]
+        )
+
+    def _noise(self) -> np.ndarray:
+        bound = self.params.noise_bound
+        return to_field_array(
+            [self.rng.randint(-bound, bound) for _ in range(self.params.n)]
+        )
+
+    def _uniform(self) -> np.ndarray:
+        return to_field_array(
+            [self.rng.randrange(P) for _ in range(self.params.n)]
+        )
+
+    # -- encryption --------------------------------------------------------
+
+    def encrypt(self, secret: np.ndarray, message: List[int]) -> RLWECiphertext:
+        """Encrypt a length-n message polynomial over ``Z_t``.
+
+        ``c0 = -(a·s) + Δ·m + e``, ``c1 = a``.
+        """
+        params = self.params
+        if len(message) != params.n:
+            raise ValueError(f"message must have {params.n} coefficients")
+        if any(not 0 <= m < params.t for m in message):
+            raise ValueError("message coefficients must lie in [0, t)")
+        a = self._uniform()
+        scaled = to_field_array([params.delta * m for m in message])
+        a_s = negacyclic_convolution(a, secret)
+        c0 = vadd(vsub(scaled, a_s), self._noise())
+        return RLWECiphertext(c0=c0, c1=a, params=params)
+
+    def decrypt(self, secret: np.ndarray, ct: RLWECiphertext) -> List[int]:
+        """Recover the message: round ``(c0 + c1·s)·t/q``."""
+        params = self.params
+        phase = vadd(ct.c0, negacyclic_convolution(ct.c1, secret))
+        out = []
+        for coeff in phase:
+            m = (int(coeff) * params.t + P // 2) // P
+            out.append(m % params.t)
+        return out
+
+    # -- homomorphic operations ---------------------------------------------
+
+    def add(self, x: RLWECiphertext, y: RLWECiphertext) -> RLWECiphertext:
+        """Homomorphic addition of message polynomials (mod t)."""
+        if x.params != y.params:
+            raise ValueError("parameter mismatch")
+        return RLWECiphertext(
+            c0=vadd(x.c0, y.c0), c1=vadd(x.c1, y.c1), params=x.params
+        )
+
+    def multiply_plain(
+        self, ct: RLWECiphertext, plain: List[int]
+    ) -> RLWECiphertext:
+        """Multiply by an *unscaled* plaintext polynomial over ``Z_t``.
+
+        Noise grows by a factor ~``t·n``; suitable for small constants
+        and masks (the typical evaluation in encrypted statistics).
+        """
+        if len(plain) != ct.params.n:
+            raise ValueError("plaintext length mismatch")
+        poly = to_field_array(plain)
+        return RLWECiphertext(
+            c0=negacyclic_convolution(ct.c0, poly),
+            c1=negacyclic_convolution(ct.c1, poly),
+            params=ct.params,
+        )

@@ -1,0 +1,78 @@
+"""Arithmetic in Z/pZ for the Solinas prime ``p = 2**64 - 2**32 + 1``.
+
+The prime (often called the *Goldilocks* prime) is the modulus chosen by
+the paper (Section III) because multiplications by powers of two reduce
+to shifts: ``2**96 == -1 (mod p)``, hence ``8`` is a 64th root of unity
+and radix-64 NTT butterflies need no general multiplier.
+
+Public surface:
+
+- scalar operations (:mod:`repro.field.solinas`),
+- reduction identities used by the hardware (:mod:`repro.field.reduction`),
+- root-of-unity derivation (:mod:`repro.field.roots`),
+- vectorized numpy arithmetic (:mod:`repro.field.vector`).
+"""
+
+from repro.field.solinas import (
+    P,
+    ORDER_OF_TWO,
+    add,
+    sub,
+    neg,
+    mul,
+    sqr,
+    pow_mod,
+    inverse,
+    mul_by_pow2,
+    is_canonical,
+)
+from repro.field.reduction import (
+    reduce_128,
+    reduce_192,
+    normalize_eq4,
+)
+from repro.field.roots import (
+    GENERATOR,
+    root_of_unity,
+    inverse_root_of_unity,
+    omega_64k,
+    shift_amount_for_power,
+)
+from repro.field.vector import (
+    vadd,
+    vsub,
+    vneg,
+    vmul,
+    vmul_scalar,
+    to_field_array,
+    from_field_array,
+)
+
+__all__ = [
+    "P",
+    "ORDER_OF_TWO",
+    "add",
+    "sub",
+    "neg",
+    "mul",
+    "sqr",
+    "pow_mod",
+    "inverse",
+    "mul_by_pow2",
+    "is_canonical",
+    "reduce_128",
+    "reduce_192",
+    "normalize_eq4",
+    "GENERATOR",
+    "root_of_unity",
+    "inverse_root_of_unity",
+    "omega_64k",
+    "shift_amount_for_power",
+    "vadd",
+    "vsub",
+    "vneg",
+    "vmul",
+    "vmul_scalar",
+    "to_field_array",
+    "from_field_array",
+]

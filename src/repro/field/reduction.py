@@ -1,0 +1,96 @@
+"""Hardware-style modular reduction paths for ``p = 2**64 - 2**32 + 1``.
+
+The paper's datapath reduces wide intermediate values with Equation 4:
+
+    ``a·2**96 + b·2**64 + c·2**32 + d ≡ 2**32·(b + c) − a − b + d (mod p)``
+
+which applies to 128-bit numbers (``a, b, c, d`` are 32-bit words).  The
+Normalize block in the FFT-64 unit performs this *coarse* reduction; the
+result may still exceed ``p`` by a small amount and the AddMod block
+finishes with at most one extra addition or subtraction of ``p``.
+
+Intermediate butterfly values never exceed 192 bits because
+``8**64 ≡ 2**192 ≡ 1 (mod p)`` (paper Eq. 3 discussion), so a 192-bit
+reduction path is also provided.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.field.solinas import P
+
+_MASK32 = (1 << 32) - 1
+_MASK64 = (1 << 64) - 1
+
+
+def split_words_128(x: int) -> Tuple[int, int, int, int]:
+    """Split a 128-bit value into the four 32-bit words ``(a, b, c, d)``.
+
+    ``x = a·2**96 + b·2**64 + c·2**32 + d`` — the layout used by Eq. 4.
+    """
+    if x < 0 or x >= (1 << 128):
+        raise ValueError("split_words_128 expects a 128-bit value")
+    d = x & _MASK32
+    c = (x >> 32) & _MASK32
+    b = (x >> 64) & _MASK32
+    a = (x >> 96) & _MASK32
+    return a, b, c, d
+
+
+def normalize_eq4(x: int) -> int:
+    """Coarse reduction of a 128-bit value via the paper's Equation 4.
+
+    Returns a value that is congruent to ``x`` modulo ``p`` and fits in
+    a (signed) 66-bit range; unlike :func:`reduce_128` it does **not**
+    produce the canonical residue.  This models the Normalize block,
+    whose output still requires the final AddMod correction.
+    """
+    a, b, c, d = split_words_128(x)
+    return ((b + c) << 32) - a - b + d
+
+
+def addmod_correct(x: int) -> int:
+    """Final correction step (the AddMod block).
+
+    Accepts the output of :func:`normalize_eq4` — possibly negative or
+    slightly above ``p`` — and folds it into ``[0, p)`` with at most a
+    couple of conditional additions/subtractions, exactly as the
+    hardware does.
+    """
+    while x < 0:
+        x += P
+    while x >= P:
+        x -= P
+    return x
+
+
+def reduce_128(x: int) -> int:
+    """Fully reduce a 128-bit value to its canonical residue mod ``p``.
+
+    Composition of the Normalize (Eq. 4) and AddMod stages.
+    """
+    return addmod_correct(normalize_eq4(x))
+
+
+def reduce_192(x: int) -> int:
+    """Fully reduce a value of up to 192 bits to a canonical residue.
+
+    The FFT-64 accumulators hold values below ``2**192`` (since
+    ``8**64 ≡ 1``).  The hardware folds the top 64 bits first, using
+    ``2**128 ≡ -2**32 (mod p)``, then applies the 128-bit path.
+    """
+    if x < 0 or x >= (1 << 192):
+        raise ValueError("reduce_192 expects a value below 2**192")
+    low = x & ((1 << 128) - 1)
+    high = x >> 128  # ≤ 64 bits
+    # 2**128 ≡ -(2**32)  ⇒  high·2**128 ≡ -(high << 32)
+    return (normalize_eq4(low) - (high << 32)) % P
+
+
+def reduce_any(x: int) -> int:
+    """Reduce an arbitrary (possibly negative) integer mod ``p``.
+
+    Convenience oracle used by tests; not a hardware path.
+    """
+    return x % P

@@ -1,0 +1,121 @@
+"""Roots of unity in ``GF(p)`` and the shift-only twiddle structure.
+
+Provides:
+
+- ``root_of_unity(n)`` — a primitive ``n``-th root for any ``n | 2**32``,
+  chosen *compatibly*: ``root_of_unity(a) == root_of_unity(b)**(b//a)``
+  whenever ``a | b``, and ``root_of_unity(64) == 8`` so that all
+  radix-64/16/8 butterflies are shifts (paper Eq. 3).
+- ``shift_amount_for_power(root, e)`` — for roots that are powers of
+  two, the bit-shift realizing multiplication by ``root**e``.
+
+The compatibility anchor is derived once by a Pohlig–Hellman discrete
+log (see :mod:`repro.field.dlog`): we find the exponent ``u`` with
+``η**u == 8`` for a 2-Sylow generator ``η`` and then define the
+``2**k``-th root ladder through ``8`` instead of through an arbitrary
+generator power.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict
+
+from repro.field.dlog import TWO_SYLOW_ORDER, dlog_pow2, two_sylow_generator
+from repro.field.solinas import ORDER_OF_TWO, P, inverse, pow_mod
+
+#: Generator of GF(p)* used for root derivation.
+GENERATOR = 7
+
+#: Largest power-of-two transform size supported by the field.
+MAX_POW2_ORDER = TWO_SYLOW_ORDER
+
+
+@lru_cache(maxsize=1)
+def _anchored_sylow_generator() -> int:
+    """A generator ``η`` of the 2-Sylow subgroup with ``η**(2**26) == 8``.
+
+    ``8`` has order 64 = 2**6, hence ``8 = η0**(2**26 · u)`` with ``u``
+    odd for any Sylow generator ``η0``.  Setting ``η = η0**u`` keeps η a
+    generator (``u`` odd) and anchors the whole root ladder on 8, so
+    every ``2**k``-th root returned by :func:`root_of_unity` is a power
+    of the same chain and ``root_of_unity(64) == 8`` exactly.
+    """
+    eta0 = two_sylow_generator()
+    exponent = dlog_pow2(8, eta0, TWO_SYLOW_ORDER)
+    u = exponent >> 26
+    if u % 2 == 0 or (u << 26) != exponent:
+        raise ArithmeticError("unexpected discrete-log structure for 8")
+    return pow_mod(eta0, u)
+
+
+@lru_cache(maxsize=None)
+def root_of_unity(n: int) -> int:
+    """Return the canonical primitive ``n``-th root of unity.
+
+    ``n`` must be a power of two dividing ``2**32``.  The roots form a
+    compatible ladder: ``root_of_unity(n)**2 == root_of_unity(n // 2)``
+    and ``root_of_unity(64) == 8``.
+    """
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    if n > MAX_POW2_ORDER:
+        raise ValueError(f"no {n}-th root of unity exists in GF(p)")
+    eta = _anchored_sylow_generator()
+    root = pow_mod(eta, TWO_SYLOW_ORDER // n)
+    return root
+
+
+@lru_cache(maxsize=None)
+def inverse_root_of_unity(n: int) -> int:
+    """Return ``root_of_unity(n)**-1`` (used by inverse transforms)."""
+    return inverse(root_of_unity(n))
+
+
+def omega_64k() -> int:
+    """The primitive 65536th root used by the paper's 64K-point FFT.
+
+    Satisfies ``omega_64k()**1024 == 8`` so the radix-64 sub-transforms
+    of the three-stage decomposition (paper Eq. 2) are shift-only.
+    """
+    return root_of_unity(65536)
+
+
+@lru_cache(maxsize=None)
+def _pow2_dlog_table() -> Dict[int, int]:
+    """Map each power of two in GF(p) to its exponent: ``2**s -> s``."""
+    table = {}
+    value = 1
+    for s in range(ORDER_OF_TWO):
+        table[value] = s
+        value = (value * 2) % P
+    return table
+
+
+def shift_amount_for_power(root: int, exponent: int) -> int:
+    """Bit-shift ``s`` such that ``root**exponent == 2**s (mod p)``.
+
+    Only valid when ``root`` is itself a power of two (e.g. the radix-64
+    root ``8 = 2**3`` or the radix-8 root ``2**24``).  This is the
+    quantity wired into the hardware shifter banks.
+
+    Raises
+    ------
+    ValueError
+        If ``root`` is not a power of two in GF(p).
+    """
+    table = _pow2_dlog_table()
+    if root not in table:
+        raise ValueError(f"{root} is not a power of 2 modulo p")
+    base_shift = table[root]
+    return (base_shift * exponent) % ORDER_OF_TWO
+
+
+def is_primitive_root(root: int, n: int) -> bool:
+    """Check that ``root`` has exact multiplicative order ``n``."""
+    if pow_mod(root, n) != 1:
+        return False
+    # n is a power of two in our use; check the single maximal divisor.
+    if n % 2 == 0 and pow_mod(root, n // 2) == 1:
+        return False
+    return True

@@ -1,0 +1,120 @@
+"""Scalar arithmetic modulo the Solinas prime ``p = 2**64 - 2**32 + 1``.
+
+The paper selects this prime (Section III) so that the modular
+multiplications appearing in NTT butterflies become shifts:
+
+- ``2**64 ≡ 2**32 - 1 (mod p)``
+- ``2**96 ≡ -1     (mod p)``  ⇒  ``ord(2) = 192`` and ``ord(8) = 64``
+
+All functions operate on canonical residues (integers in ``[0, p)``)
+and return canonical residues.  They are deliberately simple — they are
+the *oracle* against which the hardware-style datapaths in
+:mod:`repro.hw` and the vectorized kernels in :mod:`repro.field.vector`
+are validated.
+"""
+
+from __future__ import annotations
+
+#: The Solinas ("Goldilocks") prime used throughout the accelerator.
+P = (1 << 64) - (1 << 32) + 1
+
+#: Multiplicative order of 2 modulo ``P`` (because ``2**96 ≡ -1``).
+ORDER_OF_TWO = 192
+
+_MASK64 = (1 << 64) - 1
+_MASK32 = (1 << 32) - 1
+
+
+def is_canonical(x: int) -> bool:
+    """Return ``True`` when ``x`` is a canonical residue in ``[0, P)``."""
+    return 0 <= x < P
+
+
+def add(a: int, b: int) -> int:
+    """Return ``(a + b) mod P``."""
+    s = a + b
+    if s >= P:
+        s -= P
+    return s
+
+
+def sub(a: int, b: int) -> int:
+    """Return ``(a - b) mod P``."""
+    d = a - b
+    if d < 0:
+        d += P
+    return d
+
+
+def neg(a: int) -> int:
+    """Return ``-a mod P``."""
+    return 0 if a == 0 else P - a
+
+
+def mul(a: int, b: int) -> int:
+    """Return ``(a * b) mod P``."""
+    return (a * b) % P
+
+
+def sqr(a: int) -> int:
+    """Return ``a**2 mod P``."""
+    return (a * a) % P
+
+
+def pow_mod(base: int, exponent: int) -> int:
+    """Return ``base**exponent mod P`` (supports negative exponents)."""
+    if exponent < 0:
+        return pow(inverse(base), -exponent, P)
+    return pow(base, exponent, P)
+
+
+def inverse(a: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo ``P``.
+
+    Raises
+    ------
+    ZeroDivisionError
+        If ``a ≡ 0 (mod P)``.
+    """
+    if a % P == 0:
+        raise ZeroDivisionError("0 has no inverse modulo P")
+    return pow(a, P - 2, P)
+
+
+def mul_by_pow2(a: int, shift: int) -> int:
+    """Return ``a * 2**shift mod P`` using only shifts and adds.
+
+    This mirrors the hardware shifter banks: because ``2**96 ≡ -1``,
+    a multiplication by any power of two is a shift by ``shift mod 96``
+    with a sign flip for every wrap of 96.  Negative shifts divide by
+    the corresponding power of two (used by inverse transforms).
+
+    The implementation never forms a product wider than 192 bits and is
+    exactly the operation performed by :class:`repro.hw.shifter_bank`.
+    """
+    shift %= ORDER_OF_TWO
+    negate = False
+    if shift >= 96:
+        shift -= 96
+        negate = True
+    # a < 2**64 and shift < 96 so the raw shift fits in 160 bits; one
+    # Eq.4-style fold brings it back under 2**64 + epsilon.
+    value = a << shift
+    value = _fold_192(value)
+    if negate:
+        value = neg(value)
+    return value
+
+
+def _fold_192(x: int) -> int:
+    """Reduce a value of up to 192 bits to a canonical residue.
+
+    Uses the word-level identities ``2**64 ≡ 2**32 - 1`` and
+    ``2**128 ≡ -2**32`` (both consequences of ``2**96 ≡ -1``):
+
+    ``x = h·2**128 + m·2**64 + l  ≡  l + m·(2**32 - 1) - h·2**32``
+    """
+    l = x & _MASK64
+    m = (x >> 64) & _MASK64
+    h = x >> 128
+    return (l + (m << 32) - m - (h << 32)) % P

@@ -1,0 +1,124 @@
+"""Vectorized ``GF(p)`` arithmetic on numpy ``uint64`` arrays.
+
+Pure-Python big-int arithmetic is the correctness oracle but is far too
+slow for 64K-point transforms, so the software fast path emulates the
+64×64→128-bit multiply with 32-bit limb products (exactly the
+schoolbook decomposition the paper's DSP-based modular multiplier uses,
+Section IV-d) and reduces with the word-level identities behind
+Equation 4.
+
+All arrays hold canonical residues (``< p``) as ``uint64``.  Overflow
+wrapping of numpy unsigned arithmetic is exploited deliberately and
+each helper documents the ranges involved.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.field.solinas import P
+
+_P64 = np.uint64(P)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+#: 2**32 - 1, the "epsilon" of the Goldilocks reduction (2**64 ≡ epsilon).
+_EPSILON = np.uint64(0xFFFFFFFF)
+
+
+def to_field_array(values: Iterable[int]) -> np.ndarray:
+    """Convert an iterable of Python ints into a canonical uint64 array."""
+    reduced = [int(v) % P for v in values]
+    return np.array(reduced, dtype=np.uint64)
+
+
+def from_field_array(array: np.ndarray) -> List[int]:
+    """Convert a uint64 field array back to a list of Python ints."""
+    return [int(v) for v in array]
+
+
+def vadd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ``(a + b) mod p`` for canonical inputs.
+
+    ``a + b < 2p < 2**65`` may wrap; wrapping happened iff the unsigned
+    sum is smaller than an operand, and a wrapped value needs
+    ``+ 2**64 mod p = + epsilon``.
+    """
+    s = a + b
+    wrapped = s < a
+    s = np.where(wrapped, s + _EPSILON, s)
+    # The +epsilon correction cannot wrap again: a wrapped s is < p - 1.
+    s = np.where(s >= _P64, s - _P64, s)
+    return s
+
+
+def vsub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ``(a - b) mod p`` for canonical inputs."""
+    d = a - b
+    borrowed = a < b
+    # A borrow means the true value is d - 2**64 ≡ d - epsilon (mod p).
+    d = np.where(borrowed, d - _EPSILON, d)
+    return np.where(d >= _P64, d - _P64, d)
+
+
+def vneg(a: np.ndarray) -> np.ndarray:
+    """Elementwise ``-a mod p``."""
+    return np.where(a == 0, a, _P64 - a)
+
+
+def _mul_wide(a: np.ndarray, b: np.ndarray):
+    """Full 128-bit product of canonical operands as ``(hi, lo)`` uint64.
+
+    Mirrors the DSP decomposition: four 32×32 partial products combined
+    schoolbook-style (paper Section IV-d).
+    """
+    a0 = a & _MASK32
+    a1 = a >> _SHIFT32
+    b0 = b & _MASK32
+    b1 = b >> _SHIFT32
+
+    p00 = a0 * b0  # < 2**64, exact
+    p01 = a0 * b1
+    p10 = a1 * b0
+    p11 = a1 * b1
+
+    # mid collects bits [32, 96): ≤ 3·(2**32 - 1) so it fits easily.
+    mid = (p00 >> _SHIFT32) + (p01 & _MASK32) + (p10 & _MASK32)
+    lo = (p00 & _MASK32) | ((mid & _MASK32) << _SHIFT32)
+    hi = p11 + (p01 >> _SHIFT32) + (p10 >> _SHIFT32) + (mid >> _SHIFT32)
+    return hi, lo
+
+
+def _reduce_wide(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+    """Reduce a 128-bit value ``hi·2**64 + lo`` to a canonical residue.
+
+    Word-level form of the paper's Equation 4: with ``hi = h1·2**32 + h0``,
+    ``x ≡ lo − h1 + h0·(2**32 − 1) (mod p)``.
+    """
+    h0 = hi & _MASK32
+    h1 = hi >> _SHIFT32
+
+    # t = lo - h1 (mod p); on borrow the wrapped value needs -epsilon.
+    t = lo - h1
+    borrowed = lo < h1
+    t = np.where(borrowed, t - _EPSILON, t)
+
+    # t += h0 * epsilon; h0*epsilon < 2**64 always, sum may wrap once.
+    t2 = t + h0 * _EPSILON
+    wrapped = t2 < t
+    t2 = np.where(wrapped, t2 + _EPSILON, t2)
+
+    return np.where(t2 >= _P64, t2 - _P64, t2)
+
+
+def vmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ``(a * b) mod p`` for canonical inputs."""
+    hi, lo = _mul_wide(a, b)
+    return _reduce_wide(hi, lo)
+
+
+def vmul_scalar(a: np.ndarray, scalar: int) -> np.ndarray:
+    """Elementwise ``(a * scalar) mod p`` with a Python-int scalar."""
+    s = np.full_like(a, np.uint64(scalar % P))
+    return vmul(a, s)

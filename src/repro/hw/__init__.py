@@ -1,0 +1,71 @@
+"""Models of the FPGA accelerator (paper Sections IV–V).
+
+Three complementary views of the same architecture:
+
+- **functional** — bit-exact datapaths (shift-based FFT-64 unit, DSP
+  modular multipliers, banked memories) validated against the
+  :mod:`repro.field` / :mod:`repro.ntt` oracles;
+- **cycle** — clocked simulation on the :mod:`repro.sim` kernel and a
+  transaction-level distributed-FFT executor with per-PE cycle ledgers;
+- **cost** — a structural resource census (ALMs / registers / DSP /
+  M20K) over the same component tree, evaluated against the device
+  catalog to regenerate Table I.
+
+The analytic timing model of Section V lives in
+:mod:`repro.hw.timing` and is cross-checked against the simulation.
+"""
+
+from repro.hw.device import FpgaDevice, STRATIX_V_GSMD8, CYCLONE_V_PROTOTYPE
+from repro.hw.resources import ResourceEstimate, ResourceReport
+from repro.hw.modmul import ModularMultiplier
+from repro.hw.fft64_unit import FFT64Unit, FFT64Config
+from repro.hw.fft64_baseline import BaselineFFT64Unit
+from repro.hw.banked_memory import BankedMemory
+from repro.hw.pe import ProcessingElement
+from repro.hw.hypercube import HypercubeTopology
+from repro.hw.accelerator import HEAccelerator, DistributedFFTReport
+from repro.hw.timing import AcceleratorTiming, PAPER_TIMING, BASELINE_TIMING
+from repro.hw.reports import table1_report, table2_report
+from repro.hw.fft64_pipeline import FFT64Pipeline
+from repro.hw.deployment import (
+    DeploymentSpec,
+    evaluate_deployment,
+    STRATIX_ON_CHIP,
+    CYCLONE_MULTI_BOARD,
+)
+from repro.hw.batch import schedule_batch, BatchSchedule
+from repro.hw.power import estimate_power, energy_comparison
+from repro.hw.controller import AcceleratorController, multiply_program
+
+__all__ = [
+    "FpgaDevice",
+    "STRATIX_V_GSMD8",
+    "CYCLONE_V_PROTOTYPE",
+    "ResourceEstimate",
+    "ResourceReport",
+    "ModularMultiplier",
+    "FFT64Unit",
+    "FFT64Config",
+    "BaselineFFT64Unit",
+    "BankedMemory",
+    "ProcessingElement",
+    "HypercubeTopology",
+    "HEAccelerator",
+    "DistributedFFTReport",
+    "AcceleratorTiming",
+    "PAPER_TIMING",
+    "BASELINE_TIMING",
+    "table1_report",
+    "table2_report",
+    "FFT64Pipeline",
+    "DeploymentSpec",
+    "evaluate_deployment",
+    "STRATIX_ON_CHIP",
+    "CYCLONE_MULTI_BOARD",
+    "schedule_batch",
+    "BatchSchedule",
+    "estimate_power",
+    "energy_comparison",
+    "AcceleratorController",
+    "multiply_program",
+]

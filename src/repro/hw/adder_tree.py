@@ -1,0 +1,109 @@
+"""Carry-save adder tree (paper Section IV-b).
+
+Sums eight shifted samples per chain.  "To avoid the latency of long
+carry chains, a carry save solution is adopted" — the tree outputs a
+(sum, carry) vector pair.  The proposed unit additionally:
+
+- outputs the even-minus-odd difference alongside the plain sum, which
+  is what lets chains ``k+4`` be derived from chains ``k`` ("such
+  modification adds little complexity to the adder tree");
+- merges the carry-save pair right after the tree with one pipelined
+  carry-propagate adder, instead of carrying two vectors all the way to
+  the accumulators as the baseline does.
+
+The functional model keeps explicit (sum, carry) pairs so tests can
+verify the carry-save invariant ``sum + carry == Σ inputs`` at every
+level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.hw import resources as rc
+
+
+def csa_compress(a: int, b: int, c: int) -> Tuple[int, int]:
+    """One 3:2 compressor row on non-negative integers.
+
+    Returns ``(sum, carry)`` with ``sum + carry == a + b + c``:
+    bitwise XOR is the save vector, majority shifted left the carry.
+    """
+    s = a ^ b ^ c
+    carry = ((a & b) | (a & c) | (b & c)) << 1
+    return s, carry
+
+
+def csa_reduce(values: Sequence[int]) -> Tuple[int, int]:
+    """Compress any number of addends to a (sum, carry) pair."""
+    pending: List[int] = [int(v) for v in values]
+    while len(pending) > 2:
+        a, b, c = pending.pop(), pending.pop(), pending.pop()
+        s, carry = csa_compress(a, b, c)
+        pending.extend([s, carry])
+    while len(pending) < 2:
+        pending.append(0)
+    return pending[0], pending[1]
+
+
+@dataclass
+class AdderTree:
+    """Eight-input carry-save tree with optional even/odd split output.
+
+    Parameters
+    ----------
+    width:
+        Operand width in bits (inputs already twiddled/shifted).
+    dual_output:
+        When true (proposed unit), also produce ``even - odd`` so the
+        ``k+4`` chains come for free.
+    merge_carry_save:
+        When true (proposed unit), merge the CS pair into a single
+        vector with a pipelined adder right after the tree.
+    """
+
+    name: str
+    width: int
+    dual_output: bool = True
+    merge_carry_save: bool = True
+    operations: int = 0
+
+    def sums(self, inputs: Sequence[int]) -> Tuple[int, int]:
+        """Return ``(sum_all, even_minus_odd)`` for eight addends.
+
+        ``even_minus_odd`` is only meaningful when ``dual_output`` is
+        set; the functional value is computed exactly (the hardware
+        keeps it in carry-save form until the merge).
+        """
+        if len(inputs) != 8:
+            raise ValueError("adder tree takes exactly eight inputs")
+        self.operations += 1
+        even = sum(int(v) for v in inputs[0::2])
+        odd = sum(int(v) for v in inputs[1::2])
+        total_s, total_c = csa_reduce(list(inputs))
+        total = total_s + total_c  # merge stage (or later, if baseline)
+        if total != even + odd:
+            raise AssertionError("carry-save invariant violated")
+        return total, even - odd
+
+    def resources(self) -> rc.ResourceEstimate:
+        """Tree compressors + optional difference and merge hardware."""
+        # 8 → 2 carry-save tree: six compressor rows; widths grow by a
+        # couple of bits per level — modeled at full output width.
+        out_width = self.width + 3
+        tree = rc.csa_tree(8, out_width)
+        total = tree
+        if self.dual_output:
+            # Even/odd subtrees are part of the same tree; the extra
+            # cost is one subtractor for even - odd.
+            total = total + rc.adder(out_width)
+        if self.merge_carry_save:
+            # Carry-propagate merge + one pipeline register stage to
+            # hide its latency (paper: "mitigated by adding a pipeline
+            # stage").
+            total = total + rc.adder(out_width) + rc.registers(out_width, 2)
+        else:
+            # Baseline: both CS vectors are registered and carried on.
+            total = total + rc.registers(out_width, 2)
+        return total

@@ -1,0 +1,177 @@
+"""Two-dimensional banked memory buffer (paper Fig. 5).
+
+A 4×4 array of dual-port SRAM banks, each 256 words × 64 bits (two
+Altera M20K blocks), holding 4096 points per array.  Access parallelism
+is eight words per clock cycle on each port: reads are served on one
+port of every bank ("column-wise" network) and writes on the other
+("row-wise" network), so a concurrent read and write stream never
+contend.
+
+The paper states the design goal — "a simple linear banked memory
+ensures parallel read accesses ... but it would cause write accesses to
+collide on the same bank" — without printing the exact mapping.  We use
+the classic diagonal-skew mapping
+
+    ``bank(i) = (i + i // 16) mod 16``,  ``word(i) = i // 16``
+
+which provably serves both access shapes the datapath produces:
+
+- *sequential* octets ``{b, b+1, ..., b+7}`` (I/O streaming and
+  column feeds), and
+- *8-spaced* octets ``{b, b+8, ..., b+56}`` (the FFT-64 unit's column
+  reads ``a[8i+j]`` and the shared-reductor writeback),
+
+while the linear interleave ``bank(i) = i mod 16`` fails on the second
+shape — the comparison the tests make explicit.
+
+The model stores real values, enforces per-port beat discipline, and
+raises :class:`BankConflictError` when a beat touches a bank twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hw import resources as rc
+
+#: Geometry fixed by the paper.
+BANK_ROWS = 4
+BANK_COLS = 4
+BANK_DEPTH = 256
+WORD_BITS = 64
+#: Words transferred per beat on each port.
+ACCESS_WIDTH = 8
+#: Points held by one 4×4 array.
+ARRAY_POINTS = BANK_ROWS * BANK_COLS * BANK_DEPTH
+#: M20K blocks per bank (a 256×64 bank needs two M20K).
+M20K_PER_BANK = 2
+
+_BANKS = BANK_ROWS * BANK_COLS
+
+
+class BankConflictError(RuntimeError):
+    """An access beat touched the same bank more than once."""
+
+
+@dataclass
+class MemoryBank:
+    """One dual-port SRAM bank: 256 × 64-bit words (two M20K blocks)."""
+
+    row: int
+    col: int
+    data: List[int] = field(default_factory=lambda: [0] * BANK_DEPTH)
+    reads: int = 0
+    writes: int = 0
+
+    def read(self, address: int) -> int:
+        self.reads += 1
+        return self.data[address]
+
+    def write(self, address: int, value: int) -> None:
+        self.writes += 1
+        self.data[address] = value
+
+
+def skewed_bank(index: int) -> int:
+    """Diagonal-skew bank index for a point (see module docstring).
+
+    Within every 16-word row the mapping is a rotation, so
+    ``(bank, word)`` remains bijective; across rows the rotation
+    advances by one, which is what spreads strided octets (strides 1,
+    2, 4 and 8 — every access shape the radix-8/16/32/64 dataflows
+    produce) over distinct banks.
+    """
+    return (index + index // _BANKS) % _BANKS
+
+
+def linear_bank(index: int) -> int:
+    """Naive linear interleave — kept for the conflict demonstration."""
+    return index % _BANKS
+
+
+class BankedMemory:
+    """One 4096-point 4×4 banked array with dual-port beat discipline."""
+
+    def __init__(self, name: str = "banked_memory", skew: bool = True):
+        self.name = name
+        self.skew = skew
+        self.banks = [
+            [MemoryBank(r, c) for c in range(BANK_COLS)]
+            for r in range(BANK_ROWS)
+        ]
+        self.read_beats = 0
+        self.write_beats = 0
+
+    def map_address(self, index: int) -> Tuple[int, int, int]:
+        """Return ``(bank_row, bank_col, word_address)`` for a point."""
+        if not 0 <= index < ARRAY_POINTS:
+            raise IndexError(f"point {index} outside array")
+        bank = skewed_bank(index) if self.skew else linear_bank(index)
+        return bank // BANK_COLS, bank % BANK_COLS, index // _BANKS
+
+    def _check_conflicts(self, indices: Sequence[int], port: str) -> None:
+        seen: Dict[Tuple[int, int], int] = {}
+        for index in indices:
+            row, col, _ = self.map_address(index)
+            key = (row, col)
+            if key in seen:
+                raise BankConflictError(
+                    f"{self.name}: {port} beat touches bank ({row},{col}) "
+                    f"for both points {seen[key]} and {index}"
+                )
+            seen[key] = index
+
+    def read_beat(self, indices: Sequence[int]) -> List[int]:
+        """Read up to eight points in one cycle on the read port."""
+        if len(indices) > ACCESS_WIDTH:
+            raise ValueError("at most eight words per beat")
+        self._check_conflicts(indices, "read")
+        self.read_beats += 1
+        out = []
+        for index in indices:
+            row, col, word = self.map_address(index)
+            out.append(self.banks[row][col].read(word))
+        return out
+
+    def write_beat(
+        self, indices: Sequence[int], values: Sequence[int]
+    ) -> None:
+        """Write up to eight points in one cycle on the write port."""
+        if len(indices) != len(values):
+            raise ValueError("index/value length mismatch")
+        if len(indices) > ACCESS_WIDTH:
+            raise ValueError("at most eight words per beat")
+        self._check_conflicts(indices, "write")
+        self.write_beats += 1
+        for index, value in zip(indices, values):
+            row, col, word = self.map_address(index)
+            self.banks[row][col].write(word, value)
+
+    def load(self, values: Sequence[int], base: int = 0) -> None:
+        """Bulk backdoor load (initialization, not a timed access)."""
+        for offset, value in enumerate(values):
+            row, col, word = self.map_address(base + offset)
+            self.banks[row][col].data[word] = value
+
+    def dump(self, count: int, base: int = 0) -> List[int]:
+        """Bulk backdoor read (verification, not a timed access)."""
+        out = []
+        for offset in range(count):
+            row, col, word = self.map_address(base + offset)
+            out.append(self.banks[row][col].data[word])
+        return out
+
+    def resources(self) -> rc.ResourceEstimate:
+        """M20K blocks plus per-bank address registers.
+
+        The 8-lane port routing networks are shared per buffer and
+        accounted at the PE level
+        (:meth:`repro.hw.pe.ProcessingElement.resource_breakdown`).
+        """
+        sram = rc.ResourceEstimate(
+            m20k_bits=ARRAY_POINTS * WORD_BITS,
+            m20k_blocks=_BANKS * M20K_PER_BANK,
+        )
+        addressing = rc.adder(8).scale(_BANKS) + rc.registers(8, _BANKS)
+        return sram + rc.with_overhead(addressing)

@@ -1,0 +1,69 @@
+"""Data route: memory address generation for FFT reads and writes.
+
+Paper Section IV-e: "the complexity of this component is greatly
+reduced since part of its job is performed by the FFT-64 unit.  In
+fact, it is just a memory address generator."  The shared-reductor
+ordering makes the unit emit, each cycle, one output per accumulator
+block — eight values spaced eight positions apart — so the route only
+computes base addresses and strides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.hw import resources as rc
+
+
+@dataclass(frozen=True)
+class BeatPattern:
+    """One beat: the eight point indices accessed in a cycle."""
+
+    indices: List[int]
+
+
+def column_read_beats(block_base: int, radix: int = 64) -> Iterator[BeatPattern]:
+    """Read beats feeding one sub-transform (column order).
+
+    Column ``j`` of a radix-64 block is ``{base+j, base+j+8, ...}`` —
+    the 8-spaced shape the skewed banking serves conflict-free.
+    """
+    columns = max(1, radix // 8)
+    for j in range(columns):
+        yield BeatPattern(
+            indices=[block_base + columns * i + j for i in range(8)]
+        )
+
+
+def reductor_write_beats(block_base: int, radix: int = 64) -> Iterator[BeatPattern]:
+    """Write beats emitted by the shared reductors for one block.
+
+    At output cycle ``t`` the eight reductors deliver components
+    ``{8·k2 + t : k2 = 0..7}`` — again 8-spaced.
+    """
+    cycles = max(1, radix // 8)
+    stride = max(1, radix // 8)
+    for t in range(cycles):
+        yield BeatPattern(
+            indices=[block_base + stride * k2 + t for k2 in range(8)]
+        )
+
+
+@dataclass
+class DataRoute:
+    """Cost/activity model of the address generator."""
+
+    name: str = "data_route"
+    beats_generated: int = 0
+
+    def generate(self, pattern: Iterator[BeatPattern]) -> List[BeatPattern]:
+        beats = list(pattern)
+        self.beats_generated += len(beats)
+        return beats
+
+    def resources(self) -> rc.ResourceEstimate:
+        """Counters, a stride adder per lane, and a small control FSM."""
+        lane_adders = rc.adder(14).scale(8)
+        control = rc.adder(14) + rc.mux(14, 4) + rc.registers(14, 4)
+        return rc.with_overhead(lane_adders + control)

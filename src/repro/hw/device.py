@@ -1,0 +1,71 @@
+"""FPGA device catalog.
+
+Published capacities for the devices the paper used: the Stratix V
+5SGSMD8N3F45I4 of the final implementation (same device as the [28]
+baseline) and the Cyclone V parts of the initial multi-board prototype
+mentioned in Section IV / the acknowledgments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Capacity summary of an FPGA device.
+
+    Attributes
+    ----------
+    alms:
+        Adaptive Logic Modules.
+    registers:
+        Flip-flops (Stratix V carries four per ALM).
+    dsp_blocks:
+        Variable-precision DSP blocks (18×18 equivalents as counted by
+        the paper).
+    m20k_blocks:
+        M20K (20 kbit) embedded memory blocks.
+    """
+
+    name: str
+    alms: int
+    registers: int
+    dsp_blocks: int
+    m20k_blocks: int
+
+    @property
+    def m20k_bits(self) -> int:
+        """Total embedded SRAM capacity in bits."""
+        return self.m20k_blocks * 20 * 1024
+
+    def utilization(self, estimate) -> dict:
+        """Fractional utilization of each resource class.
+
+        ``estimate`` is a :class:`repro.hw.resources.ResourceEstimate`.
+        """
+        return {
+            "alms": estimate.alms / self.alms,
+            "registers": estimate.registers / self.registers,
+            "dsp_blocks": estimate.dsp_blocks / self.dsp_blocks,
+            "m20k_bits": estimate.m20k_bits / self.m20k_bits,
+        }
+
+
+#: The paper's implementation target (Section V), as in [28].
+STRATIX_V_GSMD8 = FpgaDevice(
+    name="Stratix V 5SGSMD8N3F45I4",
+    alms=262_400,
+    registers=1_049_600,
+    dsp_blocks=1_963,
+    m20k_blocks=2_567,
+)
+
+#: Low-end device of the first multi-board prototype (2015 Altera award).
+CYCLONE_V_PROTOTYPE = FpgaDevice(
+    name="Cyclone V 5CSEMA5",
+    alms=32_070,
+    registers=128_280,
+    dsp_blocks=87,
+    m20k_blocks=397,
+)

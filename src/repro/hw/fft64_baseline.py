@@ -1,0 +1,72 @@
+"""The baseline radix-64 scheme of Wang & Huang [28] (paper Fig. 3).
+
+Sixty-four independent computing chains, one per frequency component:
+each chain shifts the eight samples of the current column by its own
+twiddle exponents, sums them in a carry-save adder tree, accumulates
+over eight cycles, and owns a private modular reductor.  Outputs appear
+64-at-once, requiring 64-word memory parallelism.
+
+The functional path is the direct Eq. 3 evaluation — identical values
+to the optimized unit (that is the point: the proposed unit is a
+cheaper implementation of the same transform).  The cost census is the
+all-flags-off configuration of :class:`repro.hw.fft64_unit.FFT64Config`
+plus the wider writeback interface, and is used as the per-unit
+building block of the [28] system model in :mod:`repro.hw.reports`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.hw import resources as rc
+from repro.hw.fft64_unit import FFT64Config, FFT64Unit
+from repro.ntt.radix64 import ntt_shift_radix
+
+#: The baseline writes all 64 reduced outputs in one burst.
+BASELINE_MEMORY_WORDS = 64
+
+
+@dataclass
+class BaselineFFT64Unit:
+    """Functional/cycle/cost model of the Fig. 3 baseline unit."""
+
+    name: str = "fft64_baseline"
+    busy_cycles: int = 0
+    transforms: int = 0
+    radix_counts: Dict[int, int] = field(default_factory=dict)
+
+    @staticmethod
+    def initiation_interval(radix: int) -> int:
+        """Same eight-cycle accumulation rhythm as the proposed unit.
+
+        The baseline also consumes samples 8-by-8 ("input samples are
+        read 8-by-8"), so a 64-point transform still takes eight
+        cycles; the difference is cost, not throughput, per unit.
+        """
+        return FFT64Unit.initiation_interval(radix)
+
+    def transform(self, values: Sequence[int], radix: int = 64) -> List[int]:
+        """Direct shift-radix evaluation (64 independent chains)."""
+        if len(values) != radix:
+            raise ValueError(f"expected {radix} samples")
+        self.busy_cycles += self.initiation_interval(radix)
+        self.transforms += 1
+        self.radix_counts[radix] = self.radix_counts.get(radix, 0) + 1
+        return ntt_shift_radix(list(values), radix)
+
+    def resources(self) -> rc.ResourceEstimate:
+        """Census of the un-optimized unit plus its 64-word writeback.
+
+        The chain datapath census comes from the all-flags-off
+        :class:`FFT64Config`; on top of it the baseline needs the
+        64-word write interface (output registers and routing muxes
+        toward the memory banks) that the proposed unit's 8-word
+        interface avoids.
+        """
+        chains = FFT64Unit(config=FFT64Config.baseline()).resources()
+        writeback = (
+            rc.registers(64, BASELINE_MEMORY_WORDS)
+            + rc.mux(64, 8).scale(BASELINE_MEMORY_WORDS)
+        )
+        return chains + rc.with_overhead(writeback)

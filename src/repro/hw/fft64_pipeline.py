@@ -1,0 +1,152 @@
+"""Clocked (cycle-by-cycle) model of the FFT-64 unit pipeline.
+
+Where :class:`repro.hw.fft64_unit.FFT64Unit` is transaction-level (one
+call per transform, cycles accounted analytically), this model runs on
+the :mod:`repro.sim` kernel one clock at a time and demonstrates the
+paper's microarchitectural claims *by execution*:
+
+- one column of eight samples enters per cycle;
+- stage 1 (shared chains + even/odd derivation), the mid twiddle and
+  the accumulator update are distinct pipeline stages;
+- after the eighth column the accumulator bank is snapshotted to the
+  reduction engine, so the next block streams in immediately —
+  sustained throughput of one 64-point transform per 8 cycles;
+- the eight shared modular reductors emit one 8-component beat per
+  cycle, in the 8-spaced order the data route relies on;
+- first-output latency equals
+  :data:`repro.hw.fft64_unit.PIPELINE_LATENCY`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.field.reduction import reduce_128
+from repro.field.solinas import P, add, sub, mul_by_pow2
+from repro.hw.fft64_unit import PIPELINE_LATENCY
+from repro.ntt.radix64 import (
+    accumulator_twiddle,
+    stage1_mid_twiddle,
+    stage1_partial_sums,
+)
+from repro.sim.kernel import Component, Fifo
+
+
+class FFT64Pipeline(Component):
+    """Column-per-cycle FFT-64 pipeline.
+
+    Feed columns with :meth:`push_column` (column ``j`` of block ``b``
+    must arrive in order); reduced output beats appear on
+    :attr:`output`, one per cycle, each carrying the eight components
+    ``{8·k2 + t}`` of one block.
+    """
+
+    #: Cycles the reduction tail (normalize + addmod pipeline) adds
+    #: after an accumulator snapshot before its first beat emerges.
+    REDUCTION_LATENCY = 3
+
+    def __init__(self, name: str = "fft64_pipeline", parent=None):
+        super().__init__(name, parent)
+        self.input: Fifo = Fifo(f"{name}.in")
+        self.output: Fifo = Fifo(f"{name}.out")
+        # Pipeline registers between stages (single-entry).
+        self._stage1_reg: Optional[Tuple[int, Dict[int, int]]] = None
+        self._twiddle_reg: Optional[Tuple[int, Dict[int, int]]] = None
+        # Accumulator bank: [k2][k1].
+        self._accumulators: List[List[int]] = [[0] * 8 for _ in range(8)]
+        self._columns_accumulated = 0
+        # Snapshots queued for reduction.
+        self._reduction_queue: Deque[List[List[int]]] = deque()
+        self._reduction_step = 0
+        # Normalize/AddMod pipeline fill; refills only after idling, so
+        # back-to-back blocks keep the 8-cycle cadence.
+        self._reduction_fill = self.REDUCTION_LATENCY
+        self._fed_columns = 0
+        self.blocks_started = 0
+        self.blocks_finished = 0
+
+    def push_column(self, column: List[int]) -> None:
+        """Queue one column (eight samples) for the next cycles."""
+        if len(column) != 8:
+            raise ValueError("a column holds exactly eight samples")
+        self.input.push([v % P for v in column])
+
+    # -- clocked behaviour ---------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        self._tick_reduction()
+        self._tick_accumulate()
+        self._tick_mid_twiddle()
+        self._tick_stage1()
+        self.input.commit()
+
+    def _tick_stage1(self) -> None:
+        if self._stage1_reg is not None or not self.input.can_pop():
+            return
+        column = self.input.pop()
+        j = self._fed_columns % 8
+        self._fed_columns += 1
+        self._stage1_reg = (j, stage1_partial_sums(column))
+
+    def _tick_mid_twiddle(self) -> None:
+        if self._twiddle_reg is not None or self._stage1_reg is None:
+            return
+        j, partials = self._stage1_reg
+        self._stage1_reg = None
+        self._twiddle_reg = (j, stage1_mid_twiddle(partials, j))
+
+    def _tick_accumulate(self) -> None:
+        if self._twiddle_reg is None:
+            return
+        j, twiddled = self._twiddle_reg
+        self._twiddle_reg = None
+        if self._columns_accumulated == 0:
+            self.blocks_started += 1
+        for k2 in range(8):
+            shift, subtract = accumulator_twiddle(j, k2)
+            for k1 in range(8):
+                term = mul_by_pow2(twiddled[k1], shift)
+                if subtract:
+                    self._accumulators[k2][k1] = sub(
+                        self._accumulators[k2][k1], term
+                    )
+                else:
+                    self._accumulators[k2][k1] = add(
+                        self._accumulators[k2][k1], term
+                    )
+        self._columns_accumulated += 1
+        if self._columns_accumulated == 8:
+            snapshot = [list(block) for block in self._accumulators]
+            self._reduction_queue.append(snapshot)
+            self._accumulators = [[0] * 8 for _ in range(8)]
+            self._columns_accumulated = 0
+
+    def _tick_reduction(self) -> None:
+        if not self._reduction_queue:
+            self._reduction_fill = self.REDUCTION_LATENCY
+            return
+        if self._reduction_fill > 0:
+            self._reduction_fill -= 1
+            return
+        snapshot = self._reduction_queue[0]
+        t = self._reduction_step
+        beat = [reduce_128(snapshot[k2][t] % P) for k2 in range(8)]
+        self.output.push((t, beat))
+        self.output.commit()
+        self._reduction_step += 1
+        if self._reduction_step == 8:
+            self._reduction_queue.popleft()
+            self._reduction_step = 0
+            self.blocks_finished += 1
+
+    # -- convenience ------------------------------------------------------
+
+    def drain_block(self) -> List[int]:
+        """Pop eight beats and reassemble one block's 64 outputs."""
+        out = [0] * 64
+        for _ in range(8):
+            t, beat = self.output.pop()
+            for k2, value in enumerate(beat):
+                out[8 * k2 + t] = value
+        return out

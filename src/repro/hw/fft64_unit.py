@@ -1,0 +1,303 @@
+"""The optimized FFT-64 unit (paper Fig. 4 and Section IV-b).
+
+Computes shift-only radix-64/32/16/8 sub-transforms at a throughput of
+eight output points per clock cycle: one 64-point transform every eight
+cycles, one 16-point transform every two cycles (the figures behind the
+``T_FFT`` formula of Section V).
+
+The unit is modeled three ways at once:
+
+- **functional**: :meth:`FFT64Unit.transform` computes bit-exact values
+  through the Eq. 5 two-stage dataflow (column feeds, first-stage
+  chains with the ``k+4`` even/odd reuse, four-way accumulator twiddle
+  shifts with subtract flags, eight shared modular reductors);
+- **cycles**: every call advances the busy-cycle ledger by the
+  initiation interval (``radix / 8``); the pipeline latency is exposed
+  for the PE model;
+- **cost**: :meth:`FFT64Unit.resources` performs the structural census
+  controlled by :class:`FFT64Config`, whose flags correspond one-to-one
+  to the optimizations itemized in Section IV-b.  Clearing all flags
+  yields the baseline scheme of Fig. 3 (see
+  :mod:`repro.hw.fft64_baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.field.solinas import ORDER_OF_TWO, add, mul_by_pow2, sub
+from repro.hw import resources as rc
+from repro.hw.adder_tree import AdderTree
+from repro.ntt.radix64 import (
+    SHIFT_RADICES,
+    accumulator_twiddle,
+    ntt_shift_radix,
+    shift_root_exponent,
+    stage1_mid_twiddle,
+    stage1_partial_sums,
+)
+
+#: Output points produced per clock cycle (eight shared reductors).
+POINTS_PER_CYCLE = 8
+
+#: Pipeline latency from first column in to first point out: input
+#: normalize, stage-1 tree + merge, mid twiddle, eight accumulation
+#: steps, normalize, addmod.
+PIPELINE_LATENCY = 13
+
+
+@dataclass(frozen=True)
+class FFT64Config:
+    """Feature flags matching the Section IV-b optimizations.
+
+    All flags on = the proposed unit; all off = the Fig. 3 baseline.
+
+    Attributes
+    ----------
+    shared_first_stage:
+        Factorize per Eq. 5 — eight shared first-stage chains feeding
+        all 64 components instead of 64 independent chains.
+    halved_chains:
+        Derive chains ``k+4`` from the even/odd split of chains ``k``
+        (only meaningful with ``shared_first_stage``).
+    reduced_twiddle_shifts:
+        Wire only shifts {0, 24, 48, 72} into the accumulator blocks
+        and use a subtract flag for the other half.
+    merged_carry_save:
+        Merge carry-save vectors right after the adder tree (plus one
+        pipeline stage) instead of propagating CS pairs.
+    shared_reductors:
+        Eight time-multiplexed modular reductors instead of 64.
+    input_normalize:
+        Apply Eq. 4 to inputs before stage 1 to trim datapath width.
+    """
+
+    shared_first_stage: bool = True
+    halved_chains: bool = True
+    reduced_twiddle_shifts: bool = True
+    merged_carry_save: bool = True
+    shared_reductors: bool = True
+    input_normalize: bool = True
+
+    @staticmethod
+    def proposed() -> "FFT64Config":
+        return FFT64Config()
+
+    @staticmethod
+    def baseline() -> "FFT64Config":
+        return FFT64Config(
+            shared_first_stage=False,
+            halved_chains=False,
+            reduced_twiddle_shifts=False,
+            merged_carry_save=False,
+            shared_reductors=False,
+            input_normalize=False,
+        )
+
+
+@dataclass
+class FFT64Unit:
+    """Functional/cycle/cost model of the radix-64/16 FFT unit."""
+
+    name: str = "fft64"
+    config: FFT64Config = field(default_factory=FFT64Config)
+    busy_cycles: int = 0
+    transforms: int = 0
+    #: Histogram of transform radices executed (for reports).
+    radix_counts: Dict[int, int] = field(default_factory=dict)
+
+    # -- timing ---------------------------------------------------------
+
+    @staticmethod
+    def initiation_interval(radix: int) -> int:
+        """Cycles between back-to-back transforms of this radix.
+
+        ``radix / 8`` — eight points enter and eight leave per cycle:
+        8 cycles for a 64-point FFT, 2 for a 16-point FFT (Section V).
+        """
+        if radix not in SHIFT_RADICES:
+            raise ValueError(f"unsupported radix {radix}")
+        return max(1, radix // POINTS_PER_CYCLE)
+
+    # -- functional -----------------------------------------------------
+
+    def transform(self, values: Sequence[int], radix: int = 64) -> List[int]:
+        """Run one shift-only transform through the unit.
+
+        Radix-64 goes through the full Eq. 5 two-stage dataflow; the
+        smaller radices use the same chains with the later columns
+        idle, functionally equal to the direct shift-radix transform.
+        """
+        if len(values) != radix:
+            raise ValueError(f"expected {radix} samples")
+        self.busy_cycles += self.initiation_interval(radix)
+        self.transforms += 1
+        self.radix_counts[radix] = self.radix_counts.get(radix, 0) + 1
+        if radix == 64:
+            return self._transform64(values)
+        return self._transform_small(values, radix)
+
+    def _transform64(self, values: Sequence[int]) -> List[int]:
+        """Eq. 5 dataflow: eight column steps into 8×8 accumulators."""
+        accumulators = [[0] * 8 for _ in range(8)]  # [block k2][chain k1]
+        for j in range(8):
+            column = [values[8 * i + j] for i in range(8)]
+            partials = stage1_partial_sums(column)
+            if not self.config.halved_chains:
+                # Un-optimized: recompute chains 4..7 directly (same
+                # values; the flag only changes the cost census).
+                base = shift_root_exponent(8)
+                for k1 in range(4, 8):
+                    acc = 0
+                    for i, sample in enumerate(column):
+                        acc = add(
+                            acc,
+                            mul_by_pow2(
+                                sample, (base * i * k1) % ORDER_OF_TWO
+                            ),
+                        )
+                    partials[k1] = acc
+            twiddled = stage1_mid_twiddle(partials, j)
+            for k2 in range(8):
+                shift, subtract = accumulator_twiddle(j, k2)
+                for k1 in range(8):
+                    term = mul_by_pow2(twiddled[k1], shift)
+                    if subtract and self.config.reduced_twiddle_shifts:
+                        accumulators[k2][k1] = sub(accumulators[k2][k1], term)
+                    elif subtract:
+                        # Full 8-way shifter: apply 2**96 ≡ -1 as the
+                        # wired shift instead of the subtract flag.
+                        accumulators[k2][k1] = add(
+                            accumulators[k2][k1], mul_by_pow2(term, 96)
+                        )
+                    else:
+                        accumulators[k2][k1] = add(accumulators[k2][k1], term)
+        out = [0] * 64
+        for k2 in range(8):
+            for k1 in range(8):
+                out[8 * k2 + k1] = accumulators[k2][k1]
+        return out
+
+    def _transform_small(self, values: Sequence[int], radix: int) -> List[int]:
+        """Radix-8/16/32 on the shared two-stage structure.
+
+        "The FFT-64 unit can be adapted, with minor modifications, to
+        compute also Radix-8, Radix-16, and Radix-32 FFTs" (Section
+        IV-b).  With ``C = radix/8`` columns and sample index
+        ``m = C·i + j``::
+
+            A[8·k2 + k1] = Σ_j ω_R^{j·k1} · ω_R^{8·j·k2}
+                               · Σ_i a_{C·i+j} · ω8^{i·k1}
+
+        — the inner sum is exactly the existing stage-1 chains, the
+        ``ω_R^{j·k1}`` factor rides the mid-twiddle shifters
+        (``ω_R = 2^{192/R}``), and ``ω_R^{8·j·k2}`` lands on the
+        accumulator-block shift network (a power of two again; for
+        radix 16 it degenerates to the ±1 subtract flag).  Only ``C``
+        accumulator blocks are active.
+        """
+        columns = radix // POINTS_PER_CYCLE
+        base_shift = ORDER_OF_TWO // radix
+        accumulators = [[0] * 8 for _ in range(max(1, columns))]
+        for j in range(max(1, columns)):
+            column = [values[columns * i + j] for i in range(8)]
+            partials = stage1_partial_sums(column)
+            for k1 in range(8):
+                mid = mul_by_pow2(
+                    partials[k1], (base_shift * j * k1) % ORDER_OF_TWO
+                )
+                for k2 in range(max(1, columns)):
+                    block_shift = (
+                        POINTS_PER_CYCLE * base_shift * j * k2
+                    ) % ORDER_OF_TWO
+                    accumulators[k2][k1] = add(
+                        accumulators[k2][k1], mul_by_pow2(mid, block_shift)
+                    )
+        out = [0] * radix
+        for k2 in range(max(1, columns)):
+            for k1 in range(8):
+                out[8 * k2 + k1] = accumulators[k2][k1]
+        return out
+
+    # -- cost -----------------------------------------------------------
+
+    def resources(self) -> rc.ResourceEstimate:
+        """Structural census of the unit under its config flags."""
+        cfg = self.config
+        input_width = 66 if cfg.input_normalize else 128
+        tree_width = input_width + 95  # max wired shift below 2**96
+        acc_width = 192
+
+        total = rc.ZERO
+
+        if cfg.input_normalize:
+            # Eight Eq. 4 normalizers on the column feed.
+            normalize = rc.adder(33) + rc.adder(34) + rc.adder(66)
+            total = total + rc.with_overhead(normalize).scale(8)
+
+        if cfg.shared_first_stage:
+            # Eq. 5: the first-stage shifts 2**(24·i·k1) do not depend
+            # on the column index j, so each lane's shifter is fixed
+            # wiring — the structural saving over the baseline, whose
+            # per-chain shifts 8**(i·8+j)·k vary cycle by cycle.
+            chains = 4 if cfg.halved_chains else 8
+            tree = AdderTree(
+                name="tree",
+                width=tree_width,
+                dual_output=cfg.halved_chains,
+                merge_carry_save=cfg.merged_carry_save,
+            )
+            total = total + tree.resources().scale(chains)
+            # Mid twiddle ω64^{j·k1} (and ω16^j for the derived
+            # chains): per-chain selectable shift over 8 positions.
+            total = total + rc.barrel_shifter(tree_width, 8).scale(8)
+            # Pipeline registers between stage 1 and the accumulators.
+            total = total + rc.registers(tree_width, 8)
+        else:
+            # 64 independent chains: every lane needs a live barrel
+            # shifter (the twiddle exponent changes with the column),
+            # its own 8-input tree, and pipeline registers.
+            tree = AdderTree(
+                name="tree",
+                width=tree_width,
+                dual_output=False,
+                merge_carry_save=cfg.merged_carry_save,
+            )
+            lane_shifters = rc.barrel_shifter(tree_width, 8).scale(8)
+            lane_regs = rc.registers(tree_width, 8)
+            total = total + (tree.resources() + lane_shifters + lane_regs).scale(64)
+
+        # 64 accumulators in 8 blocks.  With the merged-carry-save
+        # optimization the tree hands over a single vector; the baseline
+        # accumulates (sum, carry) pairs — twice the compressor rows and
+        # twice the state.
+        if cfg.merged_carry_save:
+            accumulator = rc.csa(acc_width) + rc.registers(acc_width, 2)
+        else:
+            accumulator = rc.csa(acc_width).scale(2) + rc.registers(
+                acc_width, 4
+            )
+        total = total + accumulator.scale(64)
+        shift_ways = 4 if cfg.reduced_twiddle_shifts else 8
+        per_block_mux = rc.mux(acc_width, shift_ways)
+        total = total + per_block_mux.scale(8)
+
+        # Modular reductors: merge CS accumulator, Eq. 4 normalize,
+        # AddMod; shared ones add the 8:1 input mux.
+        reductor = (
+            rc.adder(acc_width)
+            + rc.adder(33)
+            + rc.adder(34)
+            + rc.adder(66)
+            + rc.adder(65)
+            + rc.mux(64, 3)
+            + rc.registers(66, 2)
+        )
+        if cfg.shared_reductors:
+            reductor = reductor + rc.mux(acc_width, 8)
+            total = total + reductor.scale(8)
+        else:
+            total = total + reductor.scale(64)
+
+        return rc.with_overhead(total)

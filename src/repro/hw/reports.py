@@ -1,0 +1,265 @@
+"""Table I and Table II generators.
+
+``table1_report`` performs the structural resource census of the
+proposed accelerator (four PEs, FFT subsystem — the paper compares FFT
+subsystems only, "we conservatively assumed a zero difference for the
+remaining dot-product and carry recovery operations") against the [28]
+baseline system model, and formats both next to the paper's printed
+numbers.
+
+``table2_report`` evaluates the timing models against the published
+execution times of [28], [30], [26] and [27].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw import resources as rc
+from repro.hw.device import STRATIX_V_GSMD8, FpgaDevice
+from repro.hw.fft64_baseline import BaselineFFT64Unit
+from repro.hw.fft64_unit import FFT64Config
+from repro.hw.hypercube import HypercubeTopology
+from repro.hw.modmul import ModularMultiplier
+from repro.hw.pe import ProcessingElement
+from repro.hw.timing import (
+    BASELINE_TIMING,
+    PAPER_TIMING,
+    PUBLISHED_RESULTS,
+    AcceleratorTiming,
+)
+
+#: Paper Table I, as printed.
+PAPER_TABLE1 = {
+    "proposed": {
+        "alms": 104_000,
+        "registers": 116_000,
+        "dsp_blocks": 256,
+        "m20k_bits": 8 * 1024 * 1024,
+    },
+    "baseline[28]": {
+        "alms": 231_000,
+        "registers": 336_377,
+        "dsp_blocks": 720,
+        "m20k_bits": None,  # not reported by [28]
+    },
+}
+
+#: Modular multipliers in the [28] system model.  Sized from the
+#: published 720-DSP budget at eight DSP blocks per multiplier: 64 feed
+#: the 64-wide writeback, the rest are inter-stage units.
+BASELINE_MODMULS = 90
+
+#: Pipeline depth of the 64-lane baseline datapath (192-bit values kept
+#: in carry-save pairs end to end), inferred from the published
+#: register count.
+BASELINE_PIPELINE_STAGES = 4
+
+
+def proposed_fft_census(pes: int = 4) -> rc.ResourceReport:
+    """Census of the proposed FFT subsystem: ``pes`` full PEs."""
+    report = rc.ResourceReport(title=f"proposed accelerator ({pes} PEs)")
+    dimension = HypercubeTopology(pes).dimension
+    points_per_pe = 65536 // pes
+    pe = ProcessingElement(0, points_per_pe, FFT64Config.proposed())
+    for name, estimate in pe.resource_breakdown(dimension).items():
+        report.add(f"{name} x{pes}", estimate.scale(pes))
+    return report
+
+
+def baseline_fft_census() -> rc.ResourceReport:
+    """Census of the [28] FPGA system (single shared-memory engine)."""
+    report = rc.ResourceReport(title="baseline system [28]")
+    unit = BaselineFFT64Unit()
+    report.add("fft64_unit (64 chains)", unit.resources())
+    report.add(
+        f"modular multipliers x{BASELINE_MODMULS}",
+        ModularMultiplier.resources().scale(BASELINE_MODMULS),
+    )
+    # 64K x 64-bit shared memory, double-buffered, with a 64-word-wide
+    # access network instead of the PEs' 8-word banked ports.
+    memory_bits = 65536 * 64 * 2
+    banks = 64
+    crossbar = rc.mux(64, banks).scale(64 * 2)
+    addressing = rc.adder(10).scale(banks) + rc.registers(10, banks)
+    report.add(
+        "shared memory + 64-wide network",
+        rc.ResourceEstimate(
+            m20k_bits=memory_bits, m20k_blocks=memory_bits // (20 * 1024) + 1
+        )
+        + rc.with_overhead(crossbar + addressing),
+    )
+    # Deep pipelining of the 64-lane, 192-bit carry-save datapath.
+    report.add(
+        "datapath pipeline registers",
+        rc.registers(192 * 2, 64).scale(BASELINE_PIPELINE_STAGES),
+    )
+    return report
+
+
+@dataclass
+class Table1Row:
+    design: str
+    alms: float
+    registers: float
+    dsp_blocks: float
+    m20k_bits: Optional[float]
+
+
+@dataclass
+class Table1:
+    """Computed Table I plus the paper's printed values."""
+
+    device: FpgaDevice
+    computed: List[Table1Row]
+    paper: Dict[str, Dict[str, Optional[float]]]
+
+    def row(self, design: str) -> Table1Row:
+        for r in self.computed:
+            if r.design == design:
+                return r
+        raise KeyError(design)
+
+    def saving(self, resource: str) -> float:
+        """Fractional saving of the proposed design vs the baseline."""
+        proposed = getattr(self.row("proposed"), resource)
+        baseline = getattr(self.row("baseline[28]"), resource)
+        return 1.0 - proposed / baseline
+
+    def render(self) -> str:
+        device = self.device
+        lines = [
+            "TABLE I — resource usage (computed census vs paper)",
+            f"device: {device.name}",
+            f"{'':<26}{'ALMs':>12}{'regs':>12}{'DSP':>8}{'M20K Mbit':>11}",
+        ]
+        for r in self.computed:
+            m20k = (
+                f"{r.m20k_bits / (1024 * 1024):.1f}"
+                if r.m20k_bits is not None
+                else "-"
+            )
+            lines.append(
+                f"{r.design + ' (computed)':<26}{r.alms:>12.0f}"
+                f"{r.registers:>12.0f}{r.dsp_blocks:>8.0f}{m20k:>11}"
+            )
+            pct = (
+                f"{r.alms / device.alms:>11.0%}"
+                f"{r.registers / device.registers:>12.0%}"
+                f"{r.dsp_blocks / device.dsp_blocks:>8.0%}"
+            )
+            lines.append(f"{'  % of device':<26}{pct}")
+        for name, vals in self.paper.items():
+            m20k = (
+                f"{vals['m20k_bits'] / (1024 * 1024):.1f}"
+                if vals["m20k_bits"] is not None
+                else "-"
+            )
+            lines.append(
+                f"{name + ' (paper)':<26}{vals['alms']:>12.0f}"
+                f"{vals['registers']:>12.0f}{vals['dsp_blocks']:>8.0f}"
+                f"{m20k:>11}"
+            )
+        lines.append(
+            f"hardware saving (computed): ALMs {self.saving('alms'):.0%}, "
+            f"registers {self.saving('registers'):.0%}, "
+            f"DSP {self.saving('dsp_blocks'):.0%}"
+        )
+        return "\n".join(lines)
+
+
+def table1_report(pes: int = 4) -> Table1:
+    """Build Table I from the structural census."""
+    proposed = proposed_fft_census(pes).total
+    baseline = baseline_fft_census().total
+    rows = [
+        Table1Row(
+            "proposed",
+            proposed.alms,
+            proposed.registers,
+            proposed.dsp_blocks,
+            proposed.m20k_bits,
+        ),
+        Table1Row(
+            "baseline[28]",
+            baseline.alms,
+            baseline.registers,
+            baseline.dsp_blocks,
+            baseline.m20k_bits,
+        ),
+    ]
+    return Table1(device=STRATIX_V_GSMD8, computed=rows, paper=PAPER_TABLE1)
+
+
+@dataclass
+class Table2Row:
+    design: str
+    fft_us: Optional[float]
+    mult_us: Optional[float]
+    source: str
+
+
+@dataclass
+class Table2:
+    rows: List[Table2Row]
+
+    def row(self, design: str) -> Table2Row:
+        for r in self.rows:
+            if r.design == design:
+                return r
+        raise KeyError(design)
+
+    def speedup_vs(self, design: str) -> float:
+        """Multiplication speedup of the proposed design over another."""
+        ours = self.row("proposed").mult_us
+        theirs = self.row(design).mult_us
+        return theirs / ours
+
+    def render(self) -> str:
+        lines = [
+            "TABLE II — execution time",
+            f"{'design':<26}{'FFT (us)':>10}{'Mult (us)':>11}  source",
+        ]
+        for r in self.rows:
+            fft = f"{r.fft_us:.1f}" if r.fft_us is not None else "-"
+            mult = f"{r.mult_us:.1f}" if r.mult_us is not None else "-"
+            lines.append(f"{r.design:<26}{fft:>10}{mult:>11}  {r.source}")
+        lines.append(
+            f"speedup vs [28]: {self.speedup_vs('wang_huang_fpga[28]'):.2f}x "
+            f"(paper: 3.32x)"
+        )
+        return "\n".join(lines)
+
+
+def table2_report(
+    timing: AcceleratorTiming = PAPER_TIMING,
+    baseline: AcceleratorTiming = BASELINE_TIMING,
+) -> Table2:
+    """Build Table II from the timing models plus published numbers."""
+    rows = [
+        Table2Row(
+            "proposed",
+            timing.fft_time_us(),
+            timing.multiplication_time_us(),
+            "our timing model",
+        ),
+        Table2Row(
+            "wang_huang_fpga[28]",
+            baseline.fft_time_us(),
+            baseline.multiplication_time_us(),
+            "our model of [28] (P=1)",
+        ),
+    ]
+    for name, vals in PUBLISHED_RESULTS.items():
+        if name == "proposed":
+            continue
+        rows.append(
+            Table2Row(
+                f"{name} (published)",
+                vals["fft_us"],
+                vals["mult_us"],
+                "cited constant",
+            )
+        )
+    return Table2(rows=rows)

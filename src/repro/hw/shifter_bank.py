@@ -1,0 +1,72 @@
+"""Shift-based twiddle units (the "shifter banks" of Figs. 3 and 4).
+
+Multiplication by a power of two modulo ``p`` is a constant shift with
+sign handling (``2**96 ≡ -1``).  A *fixed* shift costs only routing; a
+*selectable* shift costs a mux tree over the wired positions.  The
+paper's accumulator-block optimization reduces the selectable positions
+from eight to four (shifts 0/24/48/72 plus a subtract flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.field.solinas import ORDER_OF_TWO, mul_by_pow2
+from repro.hw import resources as rc
+
+
+def signed_shift(exponent: int) -> Tuple[int, bool]:
+    """Normalize a power-of-two exponent to ``(shift < 96, negate)``.
+
+    The hardware wires shifts below 96 bits and folds the rest through
+    ``2**96 ≡ -1`` into a subtraction at the accumulator.
+    """
+    exponent %= ORDER_OF_TWO
+    if exponent >= 96:
+        return exponent - 96, True
+    return exponent, False
+
+
+@dataclass
+class ShifterBank:
+    """A bank of shifters applying per-lane power-of-two twiddles.
+
+    Parameters
+    ----------
+    name:
+        Instance name for reports.
+    width:
+        Input operand width in bits (sets the mux cost).
+    shift_sets:
+        For each lane, the collection of shift amounts it must be able
+        to apply.  A single-element set is a fixed shift (free);
+        larger sets cost a mux over the wired positions.
+    """
+
+    name: str
+    width: int
+    shift_sets: Sequence[Sequence[int]]
+    operations: int = 0
+
+    def apply(self, lane: int, value: int, exponent: int) -> int:
+        """Multiply ``value`` by ``2**exponent`` on the given lane.
+
+        Functional path — asserts the lane is actually wired for the
+        requested shift, which is how tests catch schedule bugs.
+        """
+        exponent %= ORDER_OF_TWO
+        if exponent not in self.shift_sets[lane]:
+            raise ValueError(
+                f"{self.name}: lane {lane} not wired for shift {exponent}"
+            )
+        self.operations += 1
+        return mul_by_pow2(value, exponent)
+
+    def resources(self) -> rc.ResourceEstimate:
+        """Selection cost: a mux per lane over its wired positions."""
+        total = rc.ZERO
+        for shifts in self.shift_sets:
+            positions = len(set(s % ORDER_OF_TWO for s in shifts))
+            total = total + rc.barrel_shifter(self.width, positions)
+        return total

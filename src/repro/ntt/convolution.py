@@ -1,0 +1,47 @@
+"""Cyclic convolution over ``GF(p)`` — the heart of SSA multiplication.
+
+``c = IFFT(FFT(a) ∘ FFT(b))`` where ``∘`` is the component-wise product
+(the accelerator's "dot-product" phase, run on 32 extra modular
+multipliers per Section V).  Because the paper's coefficients are 24-bit
+and there are 2**15 of them, every convolution sum is below ``p`` and
+the modular convolution *equals* the integer convolution — the property
+SSA correctness rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.field.vector import vmul
+from repro.ntt.plan import TransformPlan, plan_for_size
+from repro.ntt.staged import execute_plan, execute_plan_inverse
+
+
+def pointwise_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Component-wise product of two spectra (uint64 field arrays)."""
+    if a.shape != b.shape:
+        raise ValueError("spectra must have identical shapes")
+    return vmul(a, b)
+
+
+def cyclic_convolution(
+    a: np.ndarray,
+    b: np.ndarray,
+    plan: Optional[TransformPlan] = None,
+) -> np.ndarray:
+    """Length-preserving cyclic convolution of two coefficient vectors.
+
+    Both inputs must already be padded to the transform length; SSA
+    zero-pads 32K coefficient vectors to 64K points so the cyclic
+    convolution coincides with the acyclic one.
+    """
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("inputs must be equal-length flat arrays")
+    if plan is None:
+        plan = plan_for_size(len(a))
+    if plan.n != len(a):
+        raise ValueError("plan size does not match input length")
+    spectrum = pointwise_mul(execute_plan(a, plan), execute_plan(b, plan))
+    return execute_plan_inverse(spectrum, plan)

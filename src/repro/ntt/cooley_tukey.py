@@ -1,0 +1,130 @@
+"""General Cooley–Tukey decomposition (paper Eq. 1), applied recursively.
+
+For ``N = N1 · N2`` with input index ``n = N2·n1 + n2`` and output index
+``k = N1·k2 + k1``::
+
+    F[N1·k2 + k1] =
+        Σ_{n2} [ ( Σ_{n1} f[N2·n1 + n2] · ω_{N1}^{n1·k1} )   (inner FFTs)
+                 · ω_N^{n2·k1} ]                              (twiddles)
+               · ω_{N2}^{n2·k2}                               (outer FFTs)
+
+Unlike the common radix-2 special case, this formulation accepts any
+factorization — the paper uses radix-64 and radix-16 stages so the
+sub-transform twiddles are powers of 8 (i.e. shifts, Eq. 3).  This
+module keeps the formulation *general* and scalar; the vectorized
+staged execution lives in :mod:`repro.ntt.staged` and the hardware
+dataflow in :mod:`repro.hw.fft64_unit`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.field.roots import root_of_unity
+from repro.field.solinas import P, inverse, pow_mod
+
+
+def _dft_direct(values: Sequence[int], omega: int) -> List[int]:
+    """Direct small-size DFT used at the recursion leaves."""
+    n = len(values)
+    powers = [1] * n
+    for i in range(1, n):
+        powers[i] = (powers[i - 1] * omega) % P
+    out = []
+    for k in range(n):
+        acc = 0
+        for i, x in enumerate(values):
+            acc += x * powers[(i * k) % n]
+        out.append(acc % P)
+    return out
+
+
+def ntt_cooley_tukey(
+    values: Sequence[int],
+    radices: Optional[Sequence[int]] = None,
+    omega: Optional[int] = None,
+    leaf_size: int = 8,
+) -> List[int]:
+    """Mixed-radix NTT via the general Eq. 1 decomposition.
+
+    Parameters
+    ----------
+    values:
+        Input vector of canonical residues, length a power of two.
+    radices:
+        Factorization to apply, outermost first (e.g. ``[64, 64, 16]``
+        for the paper's 64K plan).  ``None`` lets the recursion split
+        halves until ``leaf_size``.
+    omega:
+        Primitive root for the full length (defaults to the canonical
+        compatible root).
+    leaf_size:
+        Below this length, fall back to the direct DFT.
+    """
+    n = len(values)
+    if n & (n - 1) or n == 0:
+        raise ValueError("length must be a power of two")
+    if omega is None:
+        omega = root_of_unity(n)
+    plan = list(radices) if radices is not None else None
+    return _ct_recurse(list(values), omega, plan, leaf_size)
+
+
+def _ct_recurse(
+    values: List[int],
+    omega: int,
+    radices: Optional[List[int]],
+    leaf_size: int,
+) -> List[int]:
+    n = len(values)
+    if n <= leaf_size and not radices:
+        return _dft_direct(values, omega)
+    if radices:
+        n1 = radices[0]
+        rest = radices[1:]
+        if n % n1:
+            raise ValueError(f"radix {n1} does not divide length {n}")
+    else:
+        n1 = 2
+        rest = None
+    n2 = n // n1
+    if n2 == 1:
+        return _dft_direct(values, omega)
+
+    omega_n1 = pow_mod(omega, n2)  # primitive N1-th root
+    omega_n2 = pow_mod(omega, n1)  # primitive N2-th root
+
+    # Inner transforms: for each residue class n2, DFT over n1.
+    inner = [[0] * n1 for _ in range(n2)]
+    for r in range(n2):
+        column = [values[n2 * i + r] for i in range(n1)]
+        inner[r] = _dft_direct(column, omega_n1)
+
+    # Twiddle and outer transforms: for each k1, transform over n2.
+    out = [0] * n
+    for k1 in range(n1):
+        row = [
+            (inner[r][k1] * pow_mod(omega, (r * k1) % n)) % P
+            for r in range(n2)
+        ]
+        transformed = _ct_recurse(
+            row, omega_n2, list(rest) if rest else None, leaf_size
+        )
+        for k2 in range(n2):
+            out[n1 * k2 + k1] = transformed[k2]
+    return out
+
+
+def intt_cooley_tukey(
+    values: Sequence[int],
+    radices: Optional[Sequence[int]] = None,
+    omega: Optional[int] = None,
+    leaf_size: int = 8,
+) -> List[int]:
+    """Inverse mixed-radix NTT (forward with ``ω^{-1}``, scaled)."""
+    n = len(values)
+    if omega is None:
+        omega = root_of_unity(n)
+    spectrum = ntt_cooley_tukey(values, radices, inverse(omega), leaf_size)
+    n_inv = inverse(n)
+    return [(x * n_inv) % P for x in spectrum]

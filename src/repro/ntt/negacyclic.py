@@ -1,0 +1,69 @@
+"""Negacyclic convolution: polynomial products in ``Z_p[x]/(x^n + 1)``.
+
+Section III notes that ultralong multiplication "plays a central role in
+different fully homomorphic schemes, such as ... solutions based on
+Lattice problems and Learning with Errors, which may thus be
+implemented on top of the accelerator".  RLWE schemes multiply in the
+negacyclic ring ``Z_q[x]/(x^n + 1)`` — implemented here with the
+classic ψ-twist: scale input ``i`` by ``ψ^i`` (ψ a primitive 2n-th
+root, ``ψ² = ω``), run the ordinary cyclic NTT of size ``n``, and
+untwist by ``ψ^{-i}``.  The same FFT hardware serves both convolution
+flavors; only the twiddle constants change.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.field.roots import root_of_unity
+from repro.field.solinas import P, inverse, pow_mod
+from repro.field.vector import vmul
+from repro.ntt.plan import TransformPlan, plan_for_size
+from repro.ntt.staged import execute_plan, execute_plan_inverse
+
+
+@lru_cache(maxsize=None)
+def _twist_tables(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """(ψ^i, ψ^{-i}·n^{-1}) tables for the forward and inverse twist."""
+    psi = root_of_unity(2 * n)
+    if pow_mod(psi, 2) != root_of_unity(n):
+        raise ArithmeticError("psi is not a square root of omega")
+    forward = np.empty(n, dtype=np.uint64)
+    backward = np.empty(n, dtype=np.uint64)
+    psi_inv = inverse(psi)
+    f = b = 1
+    for i in range(n):
+        forward[i] = f
+        backward[i] = b
+        f = f * psi % P
+        b = b * psi_inv % P
+    return forward, backward
+
+
+def negacyclic_convolution(
+    a: np.ndarray,
+    b: np.ndarray,
+    plan: Optional[TransformPlan] = None,
+) -> np.ndarray:
+    """Coefficients of ``a(x)·b(x) mod (x^n + 1)`` over ``GF(p)``.
+
+    Unlike the SSA path there is no zero-padding: the wrap-around terms
+    pick up the ``−1`` sign that the twist encodes.
+    """
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("inputs must be equal-length flat arrays")
+    n = len(a)
+    if n & (n - 1):
+        raise ValueError("length must be a power of two")
+    if plan is None:
+        plan = plan_for_size(n)
+    if plan.n != n:
+        raise ValueError("plan size does not match input length")
+    forward, backward = _twist_tables(n)
+    ta = execute_plan(vmul(np.asarray(a, dtype=np.uint64), forward), plan)
+    tb = execute_plan(vmul(np.asarray(b, dtype=np.uint64), forward), plan)
+    product = execute_plan_inverse(vmul(ta, tb), plan)
+    return vmul(product, backward)

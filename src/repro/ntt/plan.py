@@ -1,0 +1,194 @@
+"""Mixed-radix transform plans, including the paper's 64K plan (Eq. 2).
+
+A :class:`TransformPlan` fixes a transform length ``N``, a radix
+factorization applied innermost-first, and the primitive root, and
+precomputes everything a vectorized executor needs:
+
+- per-stage small DFT matrices (powers of the stage root),
+- per-stage twiddle tables ``ω_L^{k1·n2}`` (the inter-stage factors of
+  paper Eq. 1/Eq. 2 — in hardware these are the DSP modular
+  multipliers, while the intra-stage factors are shifts),
+- the output digit-reversal permutation that restores natural order.
+
+The paper's configuration is ``paper_64k_plan()``: ``N = 65536`` with
+radices ``(64, 64, 16)``, i.e. stages over ``n3`` (stride 1024), ``n2``
+(stride 16) and ``n1`` (stride 1) exactly as in Eq. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.field.roots import root_of_unity
+from repro.field.solinas import P, inverse, pow_mod
+from repro.field.vector import to_field_array
+
+#: The paper's operating point (Section III).
+PAPER_TRANSFORM_SIZE = 65536
+PAPER_RADICES = (64, 64, 16)
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """Precomputed data for one stage of a mixed-radix plan."""
+
+    radix: int
+    #: Number of sub-transforms of this radix executed in the stage.
+    sub_transforms: int
+    #: radix × radix DFT matrix (uint64 canonical residues).
+    dft_matrix: np.ndarray
+    #: (radix, tail) inter-stage twiddle table; ``None`` for the last stage.
+    twiddles: Optional[np.ndarray]
+
+
+@dataclass(frozen=True)
+class TransformPlan:
+    """A fully precomputed mixed-radix NTT plan.
+
+    Use :func:`plan_for_size` / :func:`paper_64k_plan` to construct.
+    """
+
+    n: int
+    radices: Tuple[int, ...]
+    omega: int
+    stages: Tuple[StageSpec, ...]
+    output_permutation: np.ndarray
+    inverse_plan: Optional["TransformPlan"] = field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.stages)
+
+    def sub_transform_counts(self) -> List[Tuple[int, int]]:
+        """``[(radix, count), ...]`` per stage — drives the timing model.
+
+        For the paper plan this is ``[(64, 1024), (64, 1024), (16, 4096)]``,
+        the counts behind the ``T_FFT`` formula of Section V.
+        """
+        return [(s.radix, s.sub_transforms) for s in self.stages]
+
+
+def _dft_matrix(radix: int, stage_root: int) -> np.ndarray:
+    rows = []
+    for k in range(radix):
+        rows.append([pow_mod(stage_root, (k * i) % radix) for i in range(radix)])
+    return np.array(rows, dtype=np.uint64)
+
+
+def _twiddle_table(radix: int, tail: int, level_root: int) -> np.ndarray:
+    table = []
+    for k1 in range(radix):
+        table.append(
+            [pow_mod(level_root, (k1 * n2) % (radix * tail)) for n2 in range(tail)]
+        )
+    return np.array(table, dtype=np.uint64)
+
+
+def _output_permutation(n: int, radices: Sequence[int]) -> np.ndarray:
+    """Digit-reversal permutation: block order → natural output order.
+
+    After the staged execution, block ``(d1, ..., ds)`` (d1 slowest)
+    holds output index ``k = d1 + R1·d2 + R1·R2·d3 + ...``.
+    """
+    perm = np.zeros(n, dtype=np.int64)
+    strides = []
+    acc = 1
+    for r in radices[:-1]:
+        strides.append(acc)
+        acc *= r
+    strides.append(acc)
+
+    def fill(block: int, level: int, k: int) -> None:
+        if level == len(radices):
+            perm[k] = block
+            return
+        r = radices[level]
+        for d in range(r):
+            fill(block * r + d, level + 1, k + d * strides[level])
+
+    fill(0, 0, 0)
+    return perm
+
+
+def _build(n: int, radices: Tuple[int, ...], omega: int) -> TransformPlan:
+    product = 1
+    for r in radices:
+        product *= r
+    if product != n:
+        raise ValueError(f"radices {radices} do not factor {n}")
+    stages: List[StageSpec] = []
+    length = n
+    count = 1
+    for index, radix in enumerate(radices):
+        tail = length // radix
+        level_root = pow_mod(omega, n // length)
+        stage_root = pow_mod(level_root, tail)
+        twiddles = None
+        if index < len(radices) - 1:
+            twiddles = _twiddle_table(radix, tail, level_root)
+        stages.append(
+            StageSpec(
+                radix=radix,
+                sub_transforms=count * tail,
+                dft_matrix=_dft_matrix(radix, stage_root),
+                twiddles=twiddles,
+            )
+        )
+        count *= radix
+        length = tail
+    return TransformPlan(
+        n=n,
+        radices=radices,
+        omega=omega,
+        stages=tuple(stages),
+        output_permutation=_output_permutation(n, radices),
+    )
+
+
+_PLAN_CACHE: Dict[Tuple[int, Tuple[int, ...], int], TransformPlan] = {}
+
+
+def plan_for_size(
+    n: int,
+    radices: Optional[Sequence[int]] = None,
+    omega: Optional[int] = None,
+) -> TransformPlan:
+    """Build (and cache) a plan for an ``n``-point transform.
+
+    ``radices`` defaults to greedy radix-64 stages with one smaller
+    final stage, mirroring the paper's preference for high radices.
+    The returned plan carries a matching ``inverse_plan``.
+    """
+    if n & (n - 1) or n == 0:
+        raise ValueError("transform size must be a power of two")
+    if omega is None:
+        omega = root_of_unity(n)
+    if radices is None:
+        radices = _default_radices(n)
+    key = (n, tuple(radices), omega)
+    if key not in _PLAN_CACHE:
+        forward = _build(n, tuple(radices), omega)
+        backward = _build(n, tuple(radices), inverse(omega))
+        object.__setattr__(forward, "inverse_plan", backward)
+        _PLAN_CACHE[key] = forward
+    return _PLAN_CACHE[key]
+
+
+def _default_radices(n: int) -> Tuple[int, ...]:
+    radices: List[int] = []
+    remaining = n
+    while remaining > 64:
+        radices.append(64)
+        remaining //= 64
+    radices.append(remaining)
+    return tuple(radices)
+
+
+def paper_64k_plan() -> TransformPlan:
+    """The paper's three-stage 64K plan: radices (64, 64, 16), Eq. 2."""
+    return plan_for_size(PAPER_TRANSFORM_SIZE, PAPER_RADICES)

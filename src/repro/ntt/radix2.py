@@ -1,0 +1,111 @@
+"""Iterative radix-2 NTT — the conventional software baseline.
+
+The paper contrasts its higher-radix Cooley–Tukey decomposition with
+"the more common binary recursive splitting approach relying on a
+radix-2 transform" (Section III).  This module implements that common
+approach, both as a scalar routine and as a numpy-vectorized fast path
+used wherever the library needs a quick exact 2**k-point transform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.field.roots import root_of_unity
+from repro.field.solinas import P, inverse, pow_mod
+from repro.field.vector import to_field_array, vadd, vmul, vsub
+
+
+def _bit_reverse_permutation(n: int) -> List[int]:
+    """Index permutation placing inputs in bit-reversed order."""
+    bits = n.bit_length() - 1
+    return [int(format(i, f"0{bits}b")[::-1], 2) for i in range(n)]
+
+
+def ntt_radix2(
+    values: Sequence[int], omega: Optional[int] = None
+) -> List[int]:
+    """In-order radix-2 decimation-in-time NTT (scalar Python ints)."""
+    n = len(values)
+    if n & (n - 1) or n == 0:
+        raise ValueError("length must be a power of two")
+    if omega is None:
+        omega = root_of_unity(n)
+    data = [values[i] % P for i in _bit_reverse_permutation(n)]
+    length = 2
+    while length <= n:
+        w_len = pow_mod(omega, n // length)
+        half = length // 2
+        for start in range(0, n, length):
+            w = 1
+            for j in range(start, start + half):
+                even = data[j]
+                odd = (data[j + half] * w) % P
+                data[j] = (even + odd) % P
+                data[j + half] = (even - odd) % P
+                w = (w * w_len) % P
+        length *= 2
+    return data
+
+
+def intt_radix2(
+    values: Sequence[int], omega: Optional[int] = None
+) -> List[int]:
+    """Inverse of :func:`ntt_radix2` (scaled by ``n^{-1}``)."""
+    n = len(values)
+    if omega is None:
+        omega = root_of_unity(n)
+    spectrum = ntt_radix2(values, inverse(omega))
+    n_inv = inverse(n)
+    return [(x * n_inv) % P for x in spectrum]
+
+
+def _twiddle_table(n: int, omega: int) -> List[np.ndarray]:
+    """Per-stage twiddle arrays ``[ω^{0}, ω^{n/len}, ...]`` for numpy NTT."""
+    tables = []
+    length = 2
+    while length <= n:
+        w_len = pow_mod(omega, n // length)
+        half = length // 2
+        tw = [1] * half
+        for i in range(1, half):
+            tw[i] = (tw[i - 1] * w_len) % P
+        tables.append(to_field_array(tw))
+        length *= 2
+    return tables
+
+
+def ntt_radix2_numpy(
+    values: np.ndarray, omega: Optional[int] = None
+) -> np.ndarray:
+    """Vectorized in-order radix-2 NTT on a uint64 field array."""
+    n = len(values)
+    if n & (n - 1) or n == 0:
+        raise ValueError("length must be a power of two")
+    if omega is None:
+        omega = root_of_unity(n)
+    perm = np.array(_bit_reverse_permutation(n), dtype=np.int64)
+    data = np.asarray(values, dtype=np.uint64)[perm]
+    for stage, tw in enumerate(_twiddle_table(n, omega)):
+        length = 2 << stage
+        half = length // 2
+        view = data.reshape(n // length, length)
+        even = view[:, :half].copy()
+        odd = vmul(view[:, half:], tw[np.newaxis, :])
+        view[:, :half] = vadd(even, odd)
+        view[:, half:] = vsub(even, odd)
+    return data
+
+
+def intt_radix2_numpy(
+    values: np.ndarray, omega: Optional[int] = None
+) -> np.ndarray:
+    """Vectorized inverse radix-2 NTT."""
+    n = len(values)
+    if omega is None:
+        omega = root_of_unity(n)
+    spectrum = ntt_radix2_numpy(values, inverse(omega))
+    n_inv = np.uint64(inverse(n))
+    return vmul(spectrum, np.full(n, n_inv, dtype=np.uint64))

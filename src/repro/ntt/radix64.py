@@ -1,0 +1,151 @@
+"""Shift-only small transforms: the algorithmic core of the FFT-64 unit.
+
+In ``GF(p)`` the 64th root of unity is ``8`` (paper Eq. 3)::
+
+    A[k] = Σ_{i=0}^{63} a[i]·8^{ik} = Σ a[i]·2^{3ik mod 192} (mod p)
+
+so every twiddle multiplication inside a radix-64 (or 32/16/8)
+butterfly is a bit shift, and since ``8**64 = 2**192 ≡ 1`` no
+intermediate value exceeds 192 bits.
+
+Two evaluation orders are provided:
+
+- :func:`ntt_shift_radix` — the *baseline* direct form (one
+  shift-accumulate chain per frequency component, as in Wang & Huang
+  [28], paper Fig. 3);
+- :func:`ntt64_two_stage` — the paper's *optimized* factorized form
+  (Eq. 5): an 8×8 split sharing first-stage partial sums across the
+  eight accumulator blocks, with the ``k+4`` even/odd symmetry halving
+  the first-stage chains and the twiddle shifts reduced to
+  ``{0, 24, 48, 72}`` bits plus a subtract flag.
+
+Both compute identical values; the hardware cost difference between
+them is what Table I measures (see :mod:`repro.hw`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.field.solinas import ORDER_OF_TWO, P, add, mul_by_pow2, sub
+
+#: Radices whose twiddles are powers of two in GF(p): root = 2**(192/R).
+SHIFT_RADICES = (8, 16, 32, 64)
+
+
+def shift_root_exponent(radix: int) -> int:
+    """Return ``s`` with ``2**s`` the canonical primitive ``radix``-th root.
+
+    ``root_of_unity(radix) == 8**(64/radix) == 2**(192/radix)`` for the
+    shift radices; e.g. 3 for radix-64, 24 for radix-8.
+    """
+    if radix not in SHIFT_RADICES:
+        raise ValueError(f"radix {radix} is not shift-only (need one of {SHIFT_RADICES})")
+    return ORDER_OF_TWO // radix
+
+
+def ntt_shift_radix(values: Sequence[int], radix: int) -> List[int]:
+    """Direct shift-only radix-R transform (baseline chains, Fig. 3).
+
+    One accumulation chain per output component; each input enters every
+    chain through a shifter.  ``radix`` must be in :data:`SHIFT_RADICES`.
+    """
+    if len(values) != radix:
+        raise ValueError(f"expected {radix} inputs, got {len(values)}")
+    base = shift_root_exponent(radix)
+    out = []
+    for k in range(radix):
+        acc = 0
+        for i, x in enumerate(values):
+            acc = add(acc, mul_by_pow2(x % P, (base * i * k) % ORDER_OF_TWO))
+        out.append(acc)
+    return out
+
+
+# --- the optimized Eq. 5 dataflow -----------------------------------------
+
+#: First-stage root: ω8 = 8**8 = 2**24 (order 8).
+_OMEGA8_SHIFT = 24
+#: Mid twiddle root: ω64 = 8 = 2**3 (order 64).
+_OMEGA64_SHIFT = 3
+
+
+def stage1_partial_sums(column: Sequence[int]) -> Dict[int, int]:
+    """First stage of Eq. 5 for one memory column ``j``.
+
+    Computes ``u[k1] = Σ_{i=0}^{7} a[8i+j]·ω8^{i·k1}`` for all eight
+    ``k1`` — but, as in the hardware, only the chains ``k1 = 0..3`` are
+    evaluated directly; chains ``k1+4`` reuse them via the even/odd
+    split: ``u[k1+4] = Σ a·(−1)^i·ω8^{i·k1}``, obtained from the adder
+    tree's even-minus-odd output.
+    """
+    if len(column) != 8:
+        raise ValueError("stage 1 consumes exactly eight samples")
+    partials: Dict[int, int] = {}
+    for k1 in range(4):
+        even_sum = 0
+        odd_sum = 0
+        for i, sample in enumerate(column):
+            term = mul_by_pow2(sample % P, (_OMEGA8_SHIFT * i * k1) % ORDER_OF_TWO)
+            if i % 2 == 0:
+                even_sum = add(even_sum, term)
+            else:
+                odd_sum = add(odd_sum, term)
+        partials[k1] = add(even_sum, odd_sum)
+        partials[k1 + 4] = sub(even_sum, odd_sum)
+    return partials
+
+
+def stage1_mid_twiddle(partials: Dict[int, int], j: int) -> Dict[int, int]:
+    """Apply the mid twiddles ``ω64^{j·k1}`` (and the ``ω16^j`` factor).
+
+    For the derived chains ``k1+4`` the extra factor is
+    ``ω64^{4j} = 2**{12j} = ω16^j`` exactly as the paper notes.
+    """
+    twiddled: Dict[int, int] = {}
+    for k1 in range(4):
+        shift = (_OMEGA64_SHIFT * j * k1) % ORDER_OF_TWO
+        twiddled[k1] = mul_by_pow2(partials[k1], shift)
+        extra = (shift + 12 * j) % ORDER_OF_TWO  # ω64^{j(k1+4)} = ω64^{jk1}·ω16^{j}
+        twiddled[k1 + 4] = mul_by_pow2(partials[k1 + 4], extra)
+    return twiddled
+
+
+def accumulator_twiddle(j: int, k2: int) -> Tuple[int, bool]:
+    """Outer twiddle ``ω8^{j·k2}`` as ``(shift, subtract)``.
+
+    ``ω8^{j·k2} = 2**{24·j·k2 mod 192}``; because ``ω8^4 = 2**96 = −1``
+    only the four shifts ``{0, 24, 48, 72}`` are wired, with a subtract
+    flag replacing the other four (paper Section IV-b).
+    """
+    exponent = (j * k2) % 8
+    subtract = exponent >= 4
+    shift = _OMEGA8_SHIFT * (exponent % 4)
+    return shift, subtract
+
+
+def ntt64_two_stage(values: Sequence[int]) -> List[int]:
+    """Optimized 64-point transform following Eq. 5 exactly.
+
+    Output index ``k = 8·k2 + k1``: accumulator *block* ``k2``
+    (selected by the outer twiddle) and *chain* ``k1`` within a block.
+    """
+    if len(values) != 64:
+        raise ValueError("expected 64 inputs")
+    accumulators = [[0] * 8 for _ in range(8)]  # [k2][k1]
+    for j in range(8):  # eight computing steps, one column per cycle
+        column = [values[8 * i + j] for i in range(8)]
+        twiddled = stage1_mid_twiddle(stage1_partial_sums(column), j)
+        for k2 in range(8):
+            shift, subtract = accumulator_twiddle(j, k2)
+            for k1 in range(8):
+                term = mul_by_pow2(twiddled[k1], shift)
+                if subtract:
+                    accumulators[k2][k1] = sub(accumulators[k2][k1], term)
+                else:
+                    accumulators[k2][k1] = add(accumulators[k2][k1], term)
+    out = [0] * 64
+    for k2 in range(8):
+        for k1 in range(8):
+            out[8 * k2 + k1] = accumulators[k2][k1]
+    return out

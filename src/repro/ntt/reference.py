@@ -1,0 +1,53 @@
+"""Reference O(n²) number-theoretic DFT — the test oracle.
+
+Computes ``F[k] = sum_n f[n] · ω^{nk} (mod p)`` directly from the
+definition (paper Eq. 1, left-hand side).  Deliberately unoptimized.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.field.roots import root_of_unity
+from repro.field.solinas import P, inverse, pow_mod
+
+
+def dft_reference(
+    values: Sequence[int], omega: Optional[int] = None
+) -> List[int]:
+    """Direct evaluation of the length-``n`` number-theoretic DFT.
+
+    Parameters
+    ----------
+    values:
+        Input vector (canonical residues); its length must be a power
+        of two dividing ``2**32`` unless ``omega`` is supplied.
+    omega:
+        Primitive n-th root of unity to use.  Defaults to the canonical
+        compatible root from :func:`repro.field.roots.root_of_unity`.
+    """
+    n = len(values)
+    if omega is None:
+        omega = root_of_unity(n)
+    out = []
+    for k in range(n):
+        acc = 0
+        wk = pow_mod(omega, k)
+        w = 1
+        for x in values:
+            acc = (acc + x * w) % P
+            w = (w * wk) % P
+        out.append(acc)
+    return out
+
+
+def idft_reference(
+    values: Sequence[int], omega: Optional[int] = None
+) -> List[int]:
+    """Direct inverse DFT: forward DFT with ``ω^{-1}`` scaled by ``n^{-1}``."""
+    n = len(values)
+    if omega is None:
+        omega = root_of_unity(n)
+    spectrum = dft_reference(values, inverse(omega))
+    n_inv = inverse(n)
+    return [(x * n_inv) % P for x in spectrum]

@@ -1,0 +1,15 @@
+"""Minimal cycle-based simulation kernel used by the hardware models.
+
+Deliberately small: synchronous components advanced by a single clock,
+FIFO channels between them, and a trace recorder for timelines.  The
+accelerator models in :mod:`repro.hw` are built on these primitives so
+their cycle counts come from an actual clocked execution rather than
+hand-written formulas (the analytic formulas of paper Section V live
+separately in :mod:`repro.hw.timing` and are cross-checked against the
+simulation).
+"""
+
+from repro.sim.kernel import Component, Simulator, Fifo
+from repro.sim.trace import TraceEvent, Timeline
+
+__all__ = ["Component", "Simulator", "Fifo", "TraceEvent", "Timeline"]

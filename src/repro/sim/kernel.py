@@ -1,0 +1,137 @@
+"""Synchronous simulation kernel: components, FIFOs, and the scheduler.
+
+Execution model
+---------------
+Every :class:`Component` implements ``tick()``; the :class:`Simulator`
+calls each component's ``tick`` once per cycle in registration order,
+then commits all FIFO pushes performed during the cycle.  This is the
+classic two-phase (compute/commit) discipline, so a value pushed in
+cycle ``t`` becomes visible to consumers in cycle ``t + 1`` — matching
+registered (clocked) hardware communication.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterable, List, Optional, Tuple
+
+
+class Fifo:
+    """A registered FIFO channel between two components.
+
+    Pushes are staged and only become pop-visible after the simulator
+    commits the cycle, emulating a register boundary.  ``capacity``
+    bounds occupancy (staged + visible); a push into a full FIFO raises,
+    which in these models indicates a flow-control bug.
+    """
+
+    def __init__(self, name: str, capacity: int = 1 << 30):
+        self.name = name
+        self.capacity = capacity
+        self._visible: Deque = deque()
+        self._staged: List = []
+
+    def push(self, item) -> None:
+        if len(self._visible) + len(self._staged) >= self.capacity:
+            raise OverflowError(f"FIFO {self.name} overflow")
+        self._staged.append(item)
+
+    def can_pop(self) -> bool:
+        return bool(self._visible)
+
+    def pop(self):
+        if not self._visible:
+            raise IndexError(f"FIFO {self.name} underflow")
+        return self._visible.popleft()
+
+    def peek(self):
+        if not self._visible:
+            raise IndexError(f"FIFO {self.name} empty")
+        return self._visible[0]
+
+    def __len__(self) -> int:
+        return len(self._visible)
+
+    def commit(self) -> None:
+        """Make this cycle's pushes visible (called by the simulator)."""
+        self._visible.extend(self._staged)
+        self._staged.clear()
+
+
+class Component:
+    """Base class for clocked components.
+
+    Subclasses override :meth:`tick`; they may also expose a
+    ``resources()`` method returning a
+    :class:`repro.hw.resources.ResourceEstimate` for the census.
+    Components form a naming hierarchy through ``parent`` so traces and
+    resource reports can be grouped.
+    """
+
+    def __init__(self, name: str, parent: Optional["Component"] = None):
+        self.name = name
+        self.parent = parent
+        self.children: List[Component] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def path(self) -> str:
+        """Hierarchical name, e.g. ``accelerator.pe0.fft64``."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}.{self.name}"
+
+    def tick(self, cycle: int) -> None:
+        """Advance one clock cycle (default: do nothing)."""
+
+    def iter_tree(self) -> Iterable["Component"]:
+        """Yield this component and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+
+class Simulator:
+    """Drives a set of components and FIFOs through clock cycles."""
+
+    def __init__(self):
+        self.cycle = 0
+        self._components: List[Component] = []
+        self._fifos: List[Fifo] = []
+
+    def add(self, component: Component) -> Component:
+        self._components.append(component)
+        return component
+
+    def add_fifo(self, fifo: Fifo) -> Fifo:
+        self._fifos.append(fifo)
+        return fifo
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the clock by ``cycles`` cycles."""
+        for _ in range(cycles):
+            for component in self._components:
+                component.tick(self.cycle)
+            for fifo in self._fifos:
+                fifo.commit()
+            self.cycle += 1
+
+    def run_until(
+        self, condition: Callable[[], bool], max_cycles: int = 1_000_000
+    ) -> int:
+        """Step until ``condition()`` is true; returns the cycle count.
+
+        Raises
+        ------
+        TimeoutError
+            If the condition does not hold within ``max_cycles``.
+        """
+        start = self.cycle
+        while not condition():
+            if self.cycle - start >= max_cycles:
+                raise TimeoutError(
+                    f"condition not met within {max_cycles} cycles"
+                )
+            self.step()
+        return self.cycle - start

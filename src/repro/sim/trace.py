@@ -1,0 +1,89 @@
+"""Trace recording: cycle-stamped events and stage timelines.
+
+Used by the accelerator models to reconstruct the compute/communicate
+interleaving of paper Fig. 2 and to report per-stage cycle budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One cycle-stamped event emitted by a model."""
+
+    cycle: int
+    source: str
+    kind: str
+    payload: str = ""
+
+
+@dataclass
+class Interval:
+    """A named half-open cycle interval ``[start, end)``."""
+
+    label: str
+    source: str
+    start: int
+    end: Optional[int] = None
+
+    @property
+    def duration(self) -> int:
+        if self.end is None:
+            raise ValueError(f"interval {self.label} still open")
+        return self.end - self.start
+
+
+class Timeline:
+    """Collects events and intervals; renders a textual schedule.
+
+    The rendering is what :mod:`benchmarks.bench_fig2_schedule` prints
+    to reproduce the structure of paper Fig. 2.
+    """
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+        self._open: Dict[Tuple[str, str], Interval] = {}
+        self.intervals: List[Interval] = []
+
+    def emit(self, cycle: int, source: str, kind: str, payload: str = "") -> None:
+        self.events.append(TraceEvent(cycle, source, kind, payload))
+
+    def begin(self, cycle: int, source: str, label: str) -> None:
+        key = (source, label)
+        if key in self._open:
+            raise ValueError(f"interval {key} already open")
+        self._open[key] = Interval(label=label, source=source, start=cycle)
+
+    def end(self, cycle: int, source: str, label: str) -> Interval:
+        key = (source, label)
+        interval = self._open.pop(key)
+        interval.end = cycle
+        self.intervals.append(interval)
+        return interval
+
+    def intervals_for(self, source: str) -> List[Interval]:
+        return [i for i in self.intervals if i.source == source]
+
+    def total_span(self) -> int:
+        """Cycles from the earliest start to the latest end."""
+        if not self.intervals:
+            return 0
+        return max(i.end for i in self.intervals) - min(
+            i.start for i in self.intervals
+        )
+
+    def render(self, sources: Optional[List[str]] = None) -> str:
+        """ASCII schedule: one line per source, one column per interval."""
+        if sources is None:
+            sources = sorted({i.source for i in self.intervals})
+        lines = []
+        for source in sources:
+            spans = sorted(self.intervals_for(source), key=lambda i: i.start)
+            cells = [
+                f"[{i.start:>6}..{i.end:<6} {i.label}]" for i in spans
+            ]
+            lines.append(f"{source:<10} " + " ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Schönhage–Strassen multiplication for ultralong operands.
+
+The paper's target operation (Section III): multiply 786,432-bit
+integers — the DGHV "small setting" ciphertext size — by
+
+1. decomposing each operand into 32K coefficients of 24 bits
+   (:mod:`repro.ssa.encode`),
+2. two forward 64K-point NTTs, a component-wise product, one inverse
+   NTT (:mod:`repro.ntt`),
+3. a carry-recovery shifted sum (:mod:`repro.ssa.carry`).
+
+:class:`repro.ssa.multiplier.SSAMultiplier` packages the pipeline with
+configurable parameters; :mod:`repro.ssa.baselines` provides the
+schoolbook/Karatsuba/Toom-3 comparison multipliers for the crossover
+study ("advantageous for operands of at least 100,000 bits").
+"""
+
+from repro.ssa.encode import (
+    decompose,
+    recompose,
+    SSAParameters,
+    PAPER_PARAMETERS,
+)
+from repro.ssa.carry import carry_recover
+from repro.ssa.multiplier import SSAMultiplier, ssa_multiply
+from repro.ssa.baselines import (
+    schoolbook_multiply,
+    karatsuba_multiply,
+    toom3_multiply,
+)
+
+__all__ = [
+    "decompose",
+    "recompose",
+    "SSAParameters",
+    "PAPER_PARAMETERS",
+    "carry_recover",
+    "SSAMultiplier",
+    "ssa_multiply",
+    "schoolbook_multiply",
+    "karatsuba_multiply",
+    "toom3_multiply",
+]

@@ -1,0 +1,86 @@
+"""Carry recovery: from convolution coefficients to the final integer.
+
+The last SSA step (Section III: "compute the final result c performing
+the shifted sum of the components of c'").  Raw convolution
+coefficients are up to ``log2(32K) + 48 = 63`` bits wide; the shifted
+sum ``Σ c_i·2**(24·i)`` overlaps neighbouring terms, so carries ripple
+upward.  The hardware performs this with a dedicated adder structure
+budgeted at ≈20 µs (Section V); functionally it is the digit
+normalization implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def carry_recover(
+    coefficients: Sequence[int], coefficient_bits: int
+) -> List[int]:
+    """Normalize convolution output into proper ``m``-bit digits.
+
+    Returns the digit vector of ``Σ c_i · 2**(m·i)`` (least significant
+    first), each entry in ``[0, 2**m)``.  The vector is extended as
+    needed for the final carry-out.
+    """
+    m = coefficient_bits
+    mask = (1 << m) - 1
+    digits: List[int] = []
+    carry = 0
+    for c in coefficients:
+        total = int(c) + carry
+        digits.append(total & mask)
+        carry = total >> m
+    while carry:
+        digits.append(carry & mask)
+        carry >>= m
+    return digits
+
+
+def carry_recover_blocked(
+    coefficients: Sequence[int], coefficient_bits: int, block_size: int = 64
+) -> List[int]:
+    """Carry recovery in the blocked style of the hardware adder.
+
+    The paper's carry-recovery adder is only sketched ("an ad-hoc adder
+    structure ... maximum delay approximately 20 µs").  We model the
+    natural blocked/carry-select design: digits are normalized inside
+    fixed-size blocks in parallel, then single-bit block carries ripple
+    between blocks.  The result is identical to :func:`carry_recover`;
+    the block structure exists so the timing model can count block
+    stages (see :mod:`repro.hw.timing`).
+    """
+    m = coefficient_bits
+    mask = (1 << m) - 1
+    n = len(coefficients)
+    blocks = [
+        list(coefficients[start : start + block_size])
+        for start in range(0, n, block_size)
+    ]
+    normalized: List[List[int]] = []
+    block_carries: List[int] = []
+    for block in blocks:
+        digits = []
+        carry = 0
+        for c in block:
+            total = int(c) + carry
+            digits.append(total & mask)
+            carry = total >> m
+        normalized.append(digits)
+        block_carries.append(carry)
+
+    # Ripple the inter-block carries (the carry-select stage).
+    out: List[int] = []
+    carry = 0
+    for digits, block_carry in zip(normalized, block_carries):
+        for d in digits:
+            total = d + carry
+            out.append(total & mask)
+            carry = total >> m
+        carry += block_carry
+    while carry:
+        out.append(carry & mask)
+        carry >>= m
+    return out

@@ -1,0 +1,117 @@
+"""The Schönhage–Strassen multiplier (paper Section III pipeline).
+
+``SSAMultiplier`` ties together operand decomposition, the 64K-point
+NTT plan, the component-wise product and carry recovery.  The default
+configuration is the paper's: 786,432-bit operands, 32K coefficients of
+24 bits, a three-stage radix-64/64/16 transform over
+``p = 2**64 − 2**32 + 1``.
+
+The multiplier is a *functional* model — bit-exact, validated against
+Python big-int multiplication.  The cycle/resource behaviour of the
+same pipeline on the FPGA is modeled in :mod:`repro.hw.accelerator`,
+which reuses this code for its datapath values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ntt.convolution import pointwise_mul
+from repro.ntt.plan import TransformPlan, plan_for_size
+from repro.ntt.staged import execute_plan, execute_plan_inverse
+from repro.ssa.carry import carry_recover
+from repro.ssa.encode import PAPER_PARAMETERS, SSAParameters, decompose, recompose
+
+
+@dataclass
+class SSAMultiplier:
+    """Reusable SSA multiplication context.
+
+    Parameters
+    ----------
+    params:
+        Operand sizing; defaults to the paper's 786,432-bit setting.
+    radices:
+        NTT stage factorization; defaults to the paper's
+        ``(64, 64, 16)`` when the transform size is 64K, otherwise a
+        greedy high-radix plan.
+
+    Examples
+    --------
+    >>> mul = SSAMultiplier.for_bits(4096)
+    >>> mul.multiply(3, 5)
+    15
+    """
+
+    params: SSAParameters = PAPER_PARAMETERS
+    radices: Optional[Sequence[int]] = None
+    _plan: TransformPlan = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.params.validate()
+        self._plan = plan_for_size(
+            self.params.transform_size,
+            tuple(self.radices) if self.radices is not None else None,
+        )
+
+    @classmethod
+    def for_bits(
+        cls, operand_bits: int, coefficient_bits: int = 24
+    ) -> "SSAMultiplier":
+        """Build a multiplier able to handle ``operand_bits`` operands.
+
+        Rounds the coefficient count up to the next power of two so the
+        transform size stays a power of two.
+        """
+        count = -(-operand_bits // coefficient_bits)
+        size = 1
+        while size < count:
+            size *= 2
+        return cls(
+            params=SSAParameters(
+                coefficient_bits=coefficient_bits, operand_coefficients=size
+            )
+        )
+
+    @property
+    def plan(self) -> TransformPlan:
+        """The NTT plan in use (exposed for the hardware model)."""
+        return self._plan
+
+    def forward_transform(self, value: int) -> np.ndarray:
+        """Decompose an operand and return its NTT spectrum."""
+        return execute_plan(decompose(value, self.params), self._plan)
+
+    def multiply(self, a: int, b: int) -> int:
+        """Exact product ``a · b`` via the full SSA pipeline."""
+        spectrum = pointwise_mul(
+            self.forward_transform(a), self.forward_transform(b)
+        )
+        convolution = execute_plan_inverse(spectrum, self._plan)
+        digits = carry_recover(convolution, self.params.coefficient_bits)
+        return recompose(digits, self.params.coefficient_bits)
+
+    def square(self, a: int) -> int:
+        """Exact square ``a²`` using a single forward transform."""
+        spectrum_a = self.forward_transform(a)
+        convolution = execute_plan_inverse(
+            pointwise_mul(spectrum_a, spectrum_a), self._plan
+        )
+        digits = carry_recover(convolution, self.params.coefficient_bits)
+        return recompose(digits, self.params.coefficient_bits)
+
+
+def ssa_multiply(
+    a: int, b: int, params: Optional[SSAParameters] = None
+) -> int:
+    """One-shot SSA multiplication.
+
+    Sizes the transform automatically when ``params`` is omitted.
+    """
+    if params is None:
+        bits = max(a.bit_length(), b.bit_length(), 1)
+        return SSAMultiplier.for_bits(bits).multiply(a, b)
+    return SSAMultiplier(params=params).multiply(a, b)

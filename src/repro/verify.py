@@ -1,0 +1,175 @@
+"""Self-verification: one call that checks the library's key invariants.
+
+``python -m repro.cli verify`` (or :func:`run_self_check`) executes a
+condensed end-to-end validation — the checks a user should see pass
+before trusting any number the library prints:
+
+1. field structure (prime, 2**96 ≡ −1, ω_64k**1024 = 8);
+2. vectorized arithmetic against scalar oracles;
+3. every NTT path against the O(n²) reference at small size;
+4. a mid-size SSA multiply against Python integers;
+5. the distributed accelerator (datapath fidelity) against the
+   executor;
+6. the analytic timing against the paper's headline numbers;
+7. a DGHV encrypt–evaluate–decrypt roundtrip.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.ok else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{mark}] {self.name}{suffix}"
+
+
+def _check_field() -> CheckResult:
+    from repro.field.roots import omega_64k
+    from repro.field.solinas import P
+
+    ok = (
+        P == 2**64 - 2**32 + 1
+        and pow(2, 96, P) == P - 1
+        and pow(omega_64k(), 1024, P) == 8
+    )
+    return CheckResult("field structure (p, 2^96 = -1, w^1024 = 8)", ok)
+
+def _check_vector() -> CheckResult:
+    from repro.field.solinas import P
+    from repro.field.vector import from_field_array, to_field_array, vmul
+
+    rng = random.Random(1)
+    values = [rng.randrange(P) for _ in range(256)] + [0, 1, P - 1]
+    a = to_field_array(values)
+    b = to_field_array(list(reversed(values)))
+    want = [x * y % P for x, y in zip(values, reversed(values))]
+    ok = from_field_array(vmul(a, b)) == want
+    return CheckResult("vectorized GF(p) multiply vs scalar oracle", ok)
+
+
+def _check_ntt_paths() -> CheckResult:
+    from repro.field.solinas import P
+    from repro.field.vector import from_field_array, to_field_array
+    from repro.ntt.cooley_tukey import ntt_cooley_tukey
+    from repro.ntt.plan import plan_for_size
+    from repro.ntt.radix2 import ntt_radix2
+    from repro.ntt.radix64 import ntt64_two_stage, ntt_shift_radix
+    from repro.ntt.reference import dft_reference
+    from repro.ntt.staged import execute_plan
+
+    rng = random.Random(2)
+    x = [rng.randrange(P) for _ in range(64)]
+    ref = dft_reference(x)
+    staged = from_field_array(
+        execute_plan(to_field_array(x), plan_for_size(64, (8, 8)))
+    )
+    ok = (
+        ntt_radix2(x) == ref
+        and ntt_cooley_tukey(x, radices=[8, 8]) == ref
+        and ntt_shift_radix(x, 64) == ref
+        and ntt64_two_stage(x) == ref
+        and staged == ref
+    )
+    return CheckResult("five NTT implementations vs O(n^2) reference", ok)
+
+
+def _check_ssa() -> CheckResult:
+    from repro.ssa.multiplier import SSAMultiplier
+
+    rng = random.Random(3)
+    a, b = rng.getrandbits(50_000), rng.getrandbits(50_000)
+    ok = SSAMultiplier.for_bits(50_000).multiply(a, b) == a * b
+    return CheckResult("50,000-bit SSA multiply vs Python ints", ok)
+
+
+def _check_accelerator() -> CheckResult:
+    import numpy as np
+
+    from repro.field.solinas import P
+    from repro.field.vector import to_field_array
+    from repro.hw.accelerator import HEAccelerator
+    from repro.ntt.plan import plan_for_size
+    from repro.ntt.staged import execute_plan
+    from repro.ssa.encode import SSAParameters
+
+    rng = random.Random(4)
+    params = SSAParameters(coefficient_bits=24, operand_coefficients=512)
+    plan = plan_for_size(1024, (64, 16))
+    acc = HEAccelerator(pes=4, plan=plan, params=params)
+    x = to_field_array([rng.randrange(P) for _ in range(1024)])
+    got, _ = acc.distributed_ntt(x, fidelity="datapath")
+    ok = np.array_equal(got, execute_plan(x, plan))
+    return CheckResult(
+        "datapath-fidelity accelerator vs staged executor", ok
+    )
+
+
+def _check_timing() -> CheckResult:
+    from repro.hw.timing import PAPER_TIMING
+
+    fft = PAPER_TIMING.fft_time_us()
+    mult = PAPER_TIMING.multiplication_time_us()
+    ok = abs(fft - 30.72) < 0.01 and abs(mult - 122.88) < 0.01
+    return CheckResult(
+        "paper timing anchors",
+        ok,
+        f"T_FFT = {fft:.2f} us, T_MULT = {mult:.2f} us",
+    )
+
+
+def _check_fhe() -> CheckResult:
+    from repro.fhe.dghv import DGHV
+    from repro.fhe.ops import he_add, he_mult
+    from repro.fhe.params import TOY
+
+    scheme = DGHV(TOY, rng=random.Random(5))
+    keys = scheme.generate_keys()
+    ok = True
+    for a in (0, 1):
+        for b in (0, 1):
+            ca, cb = scheme.encrypt(keys, a), scheme.encrypt(keys, b)
+            ok &= scheme.decrypt(keys, he_add(ca, cb, x0=keys.x0)) == a ^ b
+            ok &= (
+                scheme.decrypt(keys, he_mult(scheme, ca, cb, x0=keys.x0))
+                == a & b
+            )
+    return CheckResult("DGHV encrypt/XOR/AND/decrypt truth tables", ok)
+
+
+CHECKS: List[Callable[[], CheckResult]] = [
+    _check_field,
+    _check_vector,
+    _check_ntt_paths,
+    _check_ssa,
+    _check_accelerator,
+    _check_timing,
+    _check_fhe,
+]
+
+
+def run_self_check(verbose: bool = False) -> Tuple[bool, List[CheckResult]]:
+    """Run every check; returns (all_ok, results)."""
+    results = []
+    for check in CHECKS:
+        try:
+            results.append(check())
+        except Exception as error:  # surface, don't crash the report
+            results.append(
+                CheckResult(check.__name__, False, f"raised {error!r}")
+            )
+    all_ok = all(r.ok for r in results)
+    if verbose:
+        for r in results:
+            print(r.render())
+        print("self-check:", "ALL PASS" if all_ok else "FAILURES PRESENT")
+    return all_ok, results

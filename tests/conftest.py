@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.field.solinas import P
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for reproducible tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def field_elements(rng):
+    """A mixed bag of canonical residues: edges plus random values."""
+    edges = [
+        0,
+        1,
+        2,
+        P - 1,
+        P - 2,
+        (1 << 32) - 1,
+        1 << 32,
+        (1 << 32) + 1,
+        (1 << 63),
+        P >> 1,
+    ]
+    return edges + [rng.randrange(P) for _ in range(64)]

@@ -1,0 +1,71 @@
+"""Tests for the calibration sensitivity analysis and the self-check."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    perturbed_unit_costs,
+    render_sensitivity,
+    savings_envelope,
+    savings_sensitivity,
+)
+from repro.hw import resources as rc
+from repro.verify import run_self_check
+
+
+class TestPerturbation:
+    def test_constants_restored(self):
+        before = (
+            rc.ALM_PER_ADDER_BIT,
+            rc.ALM_PER_CSA_BIT,
+            rc.ALM_PER_MUX4_BIT,
+            rc.CONTROL_OVERHEAD,
+        )
+        with perturbed_unit_costs(adder=2.0, csa=0.5):
+            assert rc.ALM_PER_ADDER_BIT == before[0] * 2.0
+            assert rc.ALM_PER_CSA_BIT == before[1] * 0.5
+        after = (
+            rc.ALM_PER_ADDER_BIT,
+            rc.ALM_PER_CSA_BIT,
+            rc.ALM_PER_MUX4_BIT,
+            rc.CONTROL_OVERHEAD,
+        )
+        assert after == before
+
+    def test_restored_on_exception(self):
+        before = rc.ALM_PER_CSA_BIT
+        with pytest.raises(RuntimeError):
+            with perturbed_unit_costs(csa=3.0):
+                raise RuntimeError("boom")
+        assert rc.ALM_PER_CSA_BIT == before
+
+
+class TestSensitivity:
+    def test_savings_robust_to_calibration(self):
+        """The ~60% saving conclusion survives ±30% on every unit cost
+        — it is structural, not an artifact of the constants."""
+        points = savings_sensitivity()
+        low, high = savings_envelope(points)
+        assert low > 0.45
+        assert high < 0.75
+
+    def test_sweep_covers_all_knobs(self):
+        points = savings_sensitivity(scales=(0.8, 1.0, 1.2))
+        labels = {p.label for p in points}
+        assert len(labels) == 4
+        assert len(points) == 12
+
+    def test_render(self):
+        text = render_sensitivity(savings_sensitivity(scales=(1.0,)))
+        assert "envelope" in text
+
+
+class TestSelfCheck:
+    def test_all_checks_pass(self):
+        ok, results = run_self_check()
+        failing = [r.name for r in results if not r.ok]
+        assert ok, f"self-check failures: {failing}"
+        assert len(results) == 7
+
+    def test_render(self):
+        _, results = run_self_check()
+        assert all("PASS" in r.render() for r in results)

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["table1"],
+            ["table2"],
+            ["scaling"],
+            ["batch", "--count", "3"],
+        ],
+    )
+    def test_fast_commands_run(self, argv, capsys):
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_table1_output(self, capsys):
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "TABLE I" in out and "proposed" in out
+
+    def test_table2_output(self, capsys):
+        main(["table2"])
+        out = capsys.readouterr().out
+        assert "TABLE II" in out and "speedup" in out
+
+    def test_deployments_output(self, capsys):
+        main(["deployments"])
+        out = capsys.readouterr().out
+        assert "Cyclone" in out and "Stratix" in out
+
+    def test_small_multiply(self, capsys):
+        main(["multiply", "--bits", "5000", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "OK" in out and "carry_recovery" in out
+
+    def test_batch_count(self, capsys):
+        main(["batch", "--count", "5"])
+        out = capsys.readouterr().out
+        assert "batch of 5" in out

@@ -1,0 +1,142 @@
+"""Fault injection: corrupted hardware state must be *detected*.
+
+The functional models are only trustworthy if the surrounding checks
+actually catch wrong values.  These tests flip bits in twiddle tables,
+roots, reduction logic and memory mappings and assert the corruption
+surfaces — as a wrong result against the oracle, or as a raised
+invariant error — never as silent agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.field.solinas import P
+from repro.field.vector import to_field_array
+from repro.hw.banked_memory import BankConflictError, BankedMemory
+from repro.hw.fft64_unit import FFT64Unit
+from repro.ntt.plan import StageSpec, TransformPlan, plan_for_size
+from repro.ntt.radix2 import ntt_radix2_numpy
+from repro.ntt.staged import execute_plan
+from repro.ssa.carry import carry_recover
+from repro.ssa.encode import SSAParameters, decompose, recompose
+
+
+def _corrupt_plan_twiddle(plan: TransformPlan) -> TransformPlan:
+    """A copy of the plan with one twiddle entry flipped."""
+    stages = []
+    for index, stage in enumerate(plan.stages):
+        twiddles = stage.twiddles
+        if index == 0:
+            twiddles = twiddles.copy()
+            twiddles[3, 5] ^= np.uint64(1)
+        stages.append(
+            StageSpec(
+                radix=stage.radix,
+                sub_transforms=stage.sub_transforms,
+                dft_matrix=stage.dft_matrix,
+                twiddles=twiddles,
+            )
+        )
+    return TransformPlan(
+        n=plan.n,
+        radices=plan.radices,
+        omega=plan.omega,
+        stages=tuple(stages),
+        output_permutation=plan.output_permutation,
+    )
+
+
+class TestNTTFaults:
+    def test_corrupted_twiddle_changes_output(self, rng):
+        plan = plan_for_size(1024, (64, 16))
+        bad = _corrupt_plan_twiddle(plan)
+        x = to_field_array([rng.randrange(P) for _ in range(1024)])
+        good_out = execute_plan(x, plan)
+        bad_out = execute_plan(x, bad)
+        assert not np.array_equal(good_out, bad_out)
+        # And the oracle pinpoints it.
+        assert np.array_equal(good_out, ntt_radix2_numpy(x))
+
+    def test_wrong_root_is_caught_by_oracle(self, rng):
+        """Using a non-compatible root silently permutes the spectrum —
+        the cross-check against radix-2 must flag it."""
+        from repro.field.solinas import pow_mod
+        from repro.field.roots import root_of_unity
+
+        n = 256
+        wrong_omega = pow_mod(root_of_unity(n), 3)  # still primitive
+        plan = plan_for_size(n, (16, 16), omega=wrong_omega)
+        x = to_field_array([rng.randrange(P) for _ in range(n)])
+        assert not np.array_equal(execute_plan(x, plan), ntt_radix2_numpy(x))
+
+    def test_unit_catches_wrong_sample_count(self):
+        unit = FFT64Unit()
+        with pytest.raises(ValueError):
+            unit.transform([1] * 60, 64)
+
+
+class TestMemoryFaults:
+    def test_unskewed_memory_trips_on_fft_pattern(self):
+        """Removing the skew (a plausible implementation bug) is caught
+        on the first reductor write beat."""
+        memory = BankedMemory(skew=False)
+        from repro.hw.data_route import reductor_write_beats
+
+        beat = next(iter(reductor_write_beats(0, 64)))
+        with pytest.raises(BankConflictError):
+            memory.write_beat(beat.indices, [0] * len(beat.indices))
+
+    def test_double_write_same_bank_detected(self):
+        memory = BankedMemory()
+        row, col, _ = memory.map_address(0)
+        # Find another point in the same bank.
+        clash = next(
+            i
+            for i in range(1, 4096)
+            if memory.map_address(i)[:2] == (row, col)
+        )
+        with pytest.raises(BankConflictError):
+            memory.write_beat([0, clash], [1, 2])
+
+
+class TestSSAFaults:
+    def test_coefficient_overflow_rejected_up_front(self):
+        """Parameters that would wrap the convolution mod p are refused
+        at validation, not at (wrong-)result time."""
+        bad = SSAParameters(coefficient_bits=28, operand_coefficients=32768)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_corrupted_convolution_breaks_roundtrip(self, rng):
+        params = SSAParameters(coefficient_bits=24, operand_coefficients=64)
+        value = rng.getrandbits(1000)
+        coeffs = [int(c) for c in decompose(value, params)]
+        coeffs[3] += 1  # single-coefficient upset
+        digits = carry_recover(coeffs, 24)
+        assert recompose(digits, 24) != value
+
+    def test_dropped_carry_detected(self, rng):
+        """A carry-recovery that truncates instead of extending loses
+        the top digits — recompose exposes it."""
+        coeffs = [(1 << 40)] * 4
+        digits = carry_recover(coeffs, 24)
+        truncated = digits[:4]
+        value = sum(c << (24 * i) for i, c in enumerate(coeffs))
+        assert recompose(digits, 24) == value
+        assert recompose(truncated, 24) != value
+
+
+class TestModmulFaults:
+    def test_noncanonical_input_rejected(self):
+        from repro.hw.modmul import ModularMultiplier
+
+        m = ModularMultiplier()
+        with pytest.raises(ValueError):
+            m.multiply(P + 1, 2)
+
+    def test_shifter_wiring_enforced(self):
+        from repro.hw.shifter_bank import ShifterBank
+
+        bank = ShifterBank(name="s", width=64, shift_sets=[[0, 24]])
+        with pytest.raises(ValueError):
+            bank.apply(0, 1, 48)  # plausible off-by-one twiddle index

@@ -1,0 +1,141 @@
+"""Tests for the encrypted gate/circuit library."""
+
+import random
+
+import pytest
+
+from repro.fhe.dghv import DGHV
+from repro.fhe.gates import (
+    GateCounter,
+    encrypted_equality,
+    encrypted_ripple_add,
+    he_eq,
+    he_mux,
+    he_nand,
+    he_not,
+    he_or,
+)
+from repro.fhe.ops import NoiseBudgetError
+from repro.fhe.params import FHEParams
+
+#: Deeper-than-TOY parameters so multi-level circuits fit the budget.
+GATES = FHEParams(name="gates", lam=16, rho=12, eta=1024, gamma=8192, tau=8)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return DGHV(GATES, rng=random.Random(4242))
+
+
+@pytest.fixture(scope="module")
+def keys(scheme):
+    return scheme.generate_keys()
+
+
+def enc(scheme, keys, bit):
+    return scheme.encrypt(keys, bit)
+
+
+class TestSingleGates:
+    @pytest.mark.parametrize("a", [0, 1])
+    def test_not(self, scheme, keys, a):
+        out = he_not(scheme, keys, enc(scheme, keys, a))
+        assert scheme.decrypt(keys, out) == 1 - a
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_or(self, scheme, keys, a, b):
+        out = he_or(scheme, keys, enc(scheme, keys, a), enc(scheme, keys, b))
+        assert scheme.decrypt(keys, out) == (a | b)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_nand(self, scheme, keys, a, b):
+        out = he_nand(
+            scheme, keys, enc(scheme, keys, a), enc(scheme, keys, b)
+        )
+        assert scheme.decrypt(keys, out) == 1 - (a & b)
+
+    @pytest.mark.parametrize("s", [0, 1])
+    @pytest.mark.parametrize("x", [0, 1])
+    @pytest.mark.parametrize("y", [0, 1])
+    def test_mux(self, scheme, keys, s, x, y):
+        out = he_mux(
+            scheme,
+            keys,
+            enc(scheme, keys, s),
+            enc(scheme, keys, x),
+            enc(scheme, keys, y),
+        )
+        assert scheme.decrypt(keys, out) == (x if s else y)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_eq(self, scheme, keys, a, b):
+        out = he_eq(scheme, keys, enc(scheme, keys, a), enc(scheme, keys, b))
+        assert scheme.decrypt(keys, out) == int(a == b)
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("x,y", [(0, 0), (1, 1), (2, 3), (3, 3), (1, 2)])
+    def test_two_bit_adds(self, scheme, keys, x, y):
+        bits_x = [enc(scheme, keys, (x >> i) & 1) for i in range(2)]
+        bits_y = [enc(scheme, keys, (y >> i) & 1) for i in range(2)]
+        out = encrypted_ripple_add(scheme, keys, bits_x, bits_y)
+        got = sum(
+            scheme.decrypt(keys, bit) << i for i, bit in enumerate(out)
+        )
+        assert got == x + y
+
+    def test_three_bit_random(self, scheme, keys, rng):
+        for _ in range(3):
+            x, y = rng.randrange(8), rng.randrange(8)
+            bits_x = [enc(scheme, keys, (x >> i) & 1) for i in range(3)]
+            bits_y = [enc(scheme, keys, (y >> i) & 1) for i in range(3)]
+            out = encrypted_ripple_add(scheme, keys, bits_x, bits_y)
+            got = sum(
+                scheme.decrypt(keys, bit) << i for i, bit in enumerate(out)
+            )
+            assert got == x + y
+
+    def test_width_mismatch(self, scheme, keys):
+        with pytest.raises(ValueError):
+            encrypted_ripple_add(
+                scheme, keys, [enc(scheme, keys, 0)], []
+            )
+
+    def test_counts_multiplications(self, scheme, keys):
+        counter = GateCounter()
+        bits = [enc(scheme, keys, 1) for _ in range(3)]
+        encrypted_ripple_add(scheme, keys, bits, bits, counter=counter)
+        # 1 AND for the first carry + 2 per remaining position.
+        assert counter.and_gates == 1 + 2 * 2
+        assert counter.cost_us() == counter.and_gates * 122.88
+
+    def test_noise_exhaustion_is_loud(self, scheme, keys):
+        """Too-wide adders fail with NoiseBudgetError, never silently."""
+        width = 64  # carry noise grows ~21 bits/position vs a 1022 budget
+        bits = [enc(scheme, keys, 1) for _ in range(width)]
+        with pytest.raises(NoiseBudgetError):
+            encrypted_ripple_add(scheme, keys, bits, bits)
+
+
+class TestEquality:
+    def test_equal_vectors(self, scheme, keys, rng):
+        bits = [rng.getrandbits(1) for _ in range(4)]
+        ea = [enc(scheme, keys, b) for b in bits]
+        eb = [enc(scheme, keys, b) for b in bits]
+        out = encrypted_equality(scheme, keys, ea, eb)
+        assert scheme.decrypt(keys, out) == 1
+
+    def test_unequal_vectors(self, scheme, keys, rng):
+        bits = [0, 1, 0, 1]
+        other = [0, 1, 1, 1]
+        ea = [enc(scheme, keys, b) for b in bits]
+        eb = [enc(scheme, keys, b) for b in other]
+        out = encrypted_equality(scheme, keys, ea, eb)
+        assert scheme.decrypt(keys, out) == 0
+
+    def test_empty_rejected(self, scheme, keys):
+        with pytest.raises(ValueError):
+            encrypted_equality(scheme, keys, [], [])

@@ -1,0 +1,107 @@
+"""Tests for the RLWE layer (repro.fhe.rlwe)."""
+
+import random
+
+import pytest
+
+from repro.fhe.rlwe import RLWE, RLWEParams
+from repro.field.solinas import P
+
+
+@pytest.fixture
+def scheme():
+    return RLWE(
+        RLWEParams(n=64, t=16, noise_bound=4), rng=random.Random(31337)
+    )
+
+
+@pytest.fixture
+def secret(scheme):
+    return scheme.generate_secret()
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RLWEParams(n=100).validate()
+        with pytest.raises(ValueError):
+            RLWEParams(t=1).validate()
+        with pytest.raises(ValueError):
+            RLWEParams(noise_bound=0).validate()
+
+    def test_delta(self):
+        assert RLWEParams(t=256).delta == P // 256
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, scheme, secret, rng):
+        msg = [rng.randrange(16) for _ in range(64)]
+        assert scheme.decrypt(secret, scheme.encrypt(secret, msg)) == msg
+
+    def test_zero_message(self, scheme, secret):
+        msg = [0] * 64
+        assert scheme.decrypt(secret, scheme.encrypt(secret, msg)) == msg
+
+    def test_max_message(self, scheme, secret):
+        msg = [15] * 64
+        assert scheme.decrypt(secret, scheme.encrypt(secret, msg)) == msg
+
+    def test_randomized_ciphertexts(self, scheme, secret):
+        msg = [1] * 64
+        c1 = scheme.encrypt(secret, msg)
+        c2 = scheme.encrypt(secret, msg)
+        assert not (c1.c0 == c2.c0).all()
+
+    def test_wrong_key_garbles(self, scheme, secret, rng):
+        msg = [rng.randrange(16) for _ in range(64)]
+        ct = scheme.encrypt(secret, msg)
+        other = scheme.generate_secret()
+        assert scheme.decrypt(other, ct) != msg
+
+    def test_rejects_bad_message(self, scheme, secret):
+        with pytest.raises(ValueError):
+            scheme.encrypt(secret, [0] * 63)
+        with pytest.raises(ValueError):
+            scheme.encrypt(secret, [16] + [0] * 63)
+
+
+class TestHomomorphic:
+    def test_addition(self, scheme, secret, rng):
+        a = [rng.randrange(16) for _ in range(64)]
+        b = [rng.randrange(16) for _ in range(64)]
+        ct = scheme.add(scheme.encrypt(secret, a), scheme.encrypt(secret, b))
+        assert scheme.decrypt(secret, ct) == [
+            (x + y) % 16 for x, y in zip(a, b)
+        ]
+
+    def test_many_additions_within_noise(self, scheme, secret):
+        msg = [1] + [0] * 63
+        acc = scheme.encrypt(secret, msg)
+        for _ in range(7):
+            acc = scheme.add(acc, scheme.encrypt(secret, msg))
+        assert scheme.decrypt(secret, acc)[0] == 8
+
+    def test_multiply_plain_by_monomial(self, scheme, secret, rng):
+        """x-shift through plaintext multiplication (negacyclic wrap)."""
+        msg = [rng.randrange(16) for _ in range(64)]
+        shift = [0, 1] + [0] * 62  # multiply by x
+        ct = scheme.multiply_plain(scheme.encrypt(secret, msg), shift)
+        got = scheme.decrypt(secret, ct)
+        expected = [(-msg[63]) % 16] + msg[:63]
+        assert got == expected
+
+    def test_multiply_plain_length_check(self, scheme, secret):
+        ct = scheme.encrypt(secret, [0] * 64)
+        with pytest.raises(ValueError):
+            scheme.multiply_plain(ct, [1, 2, 3])
+
+    def test_add_param_mismatch(self, scheme, secret):
+        other_scheme = RLWE(
+            RLWEParams(n=128, t=16, noise_bound=4),
+            rng=random.Random(1),
+        )
+        other_secret = other_scheme.generate_secret()
+        a = scheme.encrypt(secret, [0] * 64)
+        b = other_scheme.encrypt(other_secret, [0] * 128)
+        with pytest.raises(ValueError):
+            scheme.add(a, b)

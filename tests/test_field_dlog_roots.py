@@ -1,0 +1,110 @@
+"""Tests for discrete logs and the root-of-unity ladder."""
+
+import pytest
+
+from repro.field.dlog import (
+    TWO_SYLOW_ORDER,
+    dlog_pow2,
+    two_sylow_generator,
+)
+from repro.field.roots import (
+    inverse_root_of_unity,
+    is_primitive_root,
+    omega_64k,
+    root_of_unity,
+    shift_amount_for_power,
+)
+from repro.field.solinas import P, pow_mod
+
+
+class TestDlog:
+    def test_sylow_generator_has_full_order(self):
+        g = two_sylow_generator()
+        assert pow_mod(g, TWO_SYLOW_ORDER) == 1
+        assert pow_mod(g, TWO_SYLOW_ORDER // 2) == P - 1
+
+    def test_dlog_roundtrip_small(self):
+        g = two_sylow_generator()
+        for exponent in (0, 1, 2, 3, 12345, TWO_SYLOW_ORDER - 1):
+            element = pow_mod(g, exponent)
+            assert dlog_pow2(element, g, TWO_SYLOW_ORDER) == exponent
+
+    def test_dlog_of_eight(self):
+        """8 = η^(2^26·u) with u odd — the structure the anchor needs."""
+        g = two_sylow_generator()
+        e = dlog_pow2(8, g, TWO_SYLOW_ORDER)
+        assert pow_mod(g, e) == 8
+        assert e % (1 << 26) == 0
+        assert (e >> 26) % 2 == 1
+
+    def test_dlog_rejects_non_power_of_two_order(self):
+        with pytest.raises(ValueError):
+            dlog_pow2(8, two_sylow_generator(), 3)
+
+    def test_dlog_rejects_outside_subgroup(self):
+        g = two_sylow_generator()
+        # An element of odd order cannot be a power of g (unless 1).
+        odd_element = pow_mod(7, 1 << 32)
+        if odd_element != 1:
+            with pytest.raises(ValueError):
+                dlog_pow2(odd_element, g, TWO_SYLOW_ORDER)
+
+
+class TestRootLadder:
+    def test_anchor(self):
+        """root_of_unity(64) is exactly 8 (paper Eq. 3)."""
+        assert root_of_unity(64) == 8
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 1024, 65536, 1 << 20])
+    def test_primitive(self, n):
+        assert is_primitive_root(root_of_unity(n), n)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 65536])
+    def test_ladder_compatibility(self, n):
+        """root(n)^2 == root(n/2) for the whole chain."""
+        if n >= 2:
+            assert pow_mod(root_of_unity(n), 2) == root_of_unity(n // 2)
+
+    def test_omega_64k_power_is_eight(self):
+        """ω^1024 = 8 makes every sub-transform shift-only (Eq. 2)."""
+        w = omega_64k()
+        assert pow_mod(w, 1024) == 8
+        assert is_primitive_root(w, 65536)
+
+    def test_inverse_roots(self):
+        for n in (2, 64, 65536):
+            w = root_of_unity(n)
+            assert w * inverse_root_of_unity(n) % P == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            root_of_unity(3)
+        with pytest.raises(ValueError):
+            root_of_unity(0)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            root_of_unity(1 << 33)
+
+    def test_shift_radix_roots_are_powers_of_two(self):
+        """Radix-8/16/32/64 roots are 2^24, 2^12, 2^6, 2^3."""
+        assert root_of_unity(8) == pow(2, 24, P)
+        assert root_of_unity(16) == pow(2, 12, P)
+        assert root_of_unity(32) == pow(2, 6, P)
+        assert root_of_unity(64) == pow(2, 3, P)
+
+
+class TestShiftAmounts:
+    def test_basic(self):
+        assert shift_amount_for_power(8, 1) == 3
+        assert shift_amount_for_power(8, 2) == 6
+        assert shift_amount_for_power(8, 64) == 0  # 8^64 = 1
+
+    def test_matches_value(self):
+        for e in range(0, 130, 7):
+            s = shift_amount_for_power(8, e)
+            assert pow(2, s, P) == pow(8, e, P)
+
+    def test_rejects_non_power_of_two_root(self):
+        with pytest.raises(ValueError):
+            shift_amount_for_power(5, 1)

@@ -1,0 +1,76 @@
+"""Tests for the hardware reduction paths (repro.field.reduction)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field.reduction import (
+    addmod_correct,
+    normalize_eq4,
+    reduce_128,
+    reduce_192,
+    split_words_128,
+)
+from repro.field.solinas import P
+
+
+class TestSplitWords:
+    def test_layout(self):
+        x = (0xA << 96) | (0xB << 64) | (0xC << 32) | 0xD
+        assert split_words_128(x) == (0xA, 0xB, 0xC, 0xD)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            split_words_128(-1)
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            split_words_128(1 << 128)
+
+
+class TestEq4:
+    def test_formula_on_words(self):
+        """Eq. 4: a·2^96 + b·2^64 + c·2^32 + d ≡ 2^32(b+c) − a − b + d."""
+        a, b, c, d = 7, 11, 13, 17
+        x = (a << 96) | (b << 64) | (c << 32) | d
+        assert normalize_eq4(x) == ((b + c) << 32) - a - b + d
+
+    @settings(max_examples=200)
+    @given(x=st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_normalize_congruent(self, x):
+        assert normalize_eq4(x) % P == x % P
+
+    @settings(max_examples=100)
+    @given(x=st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_normalize_output_narrow(self, x):
+        """Normalize output fits a short signed range (one AddMod step)."""
+        y = normalize_eq4(x)
+        assert -(1 << 34) < y < (1 << 66)
+
+
+class TestFullReduction:
+    @settings(max_examples=200)
+    @given(x=st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_reduce_128(self, x):
+        assert reduce_128(x) == x % P
+
+    @settings(max_examples=200)
+    @given(x=st.integers(min_value=0, max_value=(1 << 192) - 1))
+    def test_reduce_192(self, x):
+        assert reduce_192(x) == x % P
+
+    def test_reduce_192_rejects_wide(self):
+        with pytest.raises(ValueError):
+            reduce_192(1 << 192)
+
+    def test_reduce_edges(self):
+        for x in (0, 1, P - 1, P, P + 1, (1 << 128) - 1, 1 << 96, 1 << 64):
+            assert reduce_128(x) == x % P
+        for x in (0, (1 << 192) - 1, 1 << 191, (1 << 128), P * P):
+            assert reduce_192(x) == x % P
+
+    def test_addmod_correct_handles_negatives(self):
+        assert addmod_correct(-1) == P - 1
+        assert addmod_correct(-(1 << 34)) == -(1 << 34) % P
+        assert addmod_correct(P) == 0
+        assert addmod_correct(2 * P + 3) == 3

@@ -1,0 +1,138 @@
+"""Tests for scalar GF(p) arithmetic (repro.field.solinas)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import solinas as f
+from repro.field.solinas import P
+
+residues = st.integers(min_value=0, max_value=P - 1)
+
+
+class TestPrimeStructure:
+    def test_prime_value(self):
+        assert P == 2**64 - 2**32 + 1
+
+    def test_p_is_prime(self):
+        # Deterministic Miller-Rabin witnesses for 64-bit integers.
+        witnesses = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+        d, s = P - 1, 0
+        while d % 2 == 0:
+            d //= 2
+            s += 1
+        for a in witnesses:
+            x = pow(a, d, P)
+            if x in (1, P - 1):
+                continue
+            for _ in range(s - 1):
+                x = x * x % P
+                if x == P - 1:
+                    break
+            else:
+                pytest.fail(f"witness {a} says composite")
+
+    def test_two_to_96_is_minus_one(self):
+        assert pow(2, 96, P) == P - 1
+
+    def test_order_of_two(self):
+        assert pow(2, f.ORDER_OF_TWO, P) == 1
+        assert pow(2, f.ORDER_OF_TWO // 2, P) != 1
+        assert pow(2, f.ORDER_OF_TWO // 3, P) != 1
+
+    def test_eight_is_64th_root(self):
+        """Paper Eq. 3: 8 is the 64th root of unity."""
+        assert pow(8, 64, P) == 1
+        assert pow(8, 32, P) != 1
+
+    def test_two_sylow_divides_group_order(self):
+        assert (P - 1) % (1 << 32) == 0
+        assert (P - 1) // (1 << 32) % 2 == 1
+
+
+class TestBasicOps:
+    def test_add_wraps(self):
+        assert f.add(P - 1, 1) == 0
+        assert f.add(P - 1, P - 1) == P - 2
+
+    def test_sub_wraps(self):
+        assert f.sub(0, 1) == P - 1
+        assert f.sub(5, 7) == P - 2
+
+    def test_neg(self):
+        assert f.neg(0) == 0
+        assert f.neg(1) == P - 1
+        assert f.neg(P - 1) == 1
+
+    def test_mul_matches_int(self, field_elements):
+        for a in field_elements[:16]:
+            for b in field_elements[:16]:
+                assert f.mul(a, b) == a * b % P
+
+    def test_sqr(self, field_elements):
+        for a in field_elements:
+            assert f.sqr(a) == a * a % P
+
+    def test_pow_negative_exponent(self):
+        assert f.pow_mod(3, -1) == f.inverse(3)
+        assert f.pow_mod(3, -2) == f.inverse(9)
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            f.inverse(0)
+        with pytest.raises(ZeroDivisionError):
+            f.inverse(P)
+
+    def test_is_canonical(self):
+        assert f.is_canonical(0)
+        assert f.is_canonical(P - 1)
+        assert not f.is_canonical(P)
+        assert not f.is_canonical(-1)
+
+
+class TestHypothesisProperties:
+    @settings(max_examples=60)
+    @given(a=residues, b=residues)
+    def test_add_commutes_and_matches(self, a, b):
+        assert f.add(a, b) == f.add(b, a) == (a + b) % P
+
+    @settings(max_examples=60)
+    @given(a=residues, b=residues)
+    def test_sub_is_add_neg(self, a, b):
+        assert f.sub(a, b) == f.add(a, f.neg(b))
+
+    @settings(max_examples=60)
+    @given(a=residues, b=residues, c=residues)
+    def test_mul_distributes(self, a, b, c):
+        left = f.mul(a, f.add(b, c))
+        right = f.add(f.mul(a, b), f.mul(a, c))
+        assert left == right
+
+    @settings(max_examples=60)
+    @given(a=st.integers(min_value=1, max_value=P - 1))
+    def test_inverse_roundtrip(self, a):
+        assert f.mul(a, f.inverse(a)) == 1
+
+    @settings(max_examples=100)
+    @given(a=residues, shift=st.integers(min_value=0, max_value=1000))
+    def test_mul_by_pow2_matches_pow(self, a, shift):
+        assert f.mul_by_pow2(a, shift) == a * pow(2, shift, P) % P
+
+    @settings(max_examples=60)
+    @given(a=residues, shift=st.integers(min_value=-400, max_value=-1))
+    def test_mul_by_pow2_negative_shift(self, a, shift):
+        """Negative shifts divide — used by inverse transforms."""
+        expected = a * f.pow_mod(2, shift) % P
+        assert f.mul_by_pow2(a, shift) == expected
+
+    @settings(max_examples=60)
+    @given(a=residues)
+    def test_shift_by_96_negates(self, a):
+        assert f.mul_by_pow2(a, 96) == f.neg(a)
+
+    @settings(max_examples=60)
+    @given(a=residues)
+    def test_shift_by_192_is_identity(self, a):
+        assert f.mul_by_pow2(a, 192) == a

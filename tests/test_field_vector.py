@@ -1,0 +1,125 @@
+"""Tests for vectorized GF(p) arithmetic (repro.field.vector)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field.solinas import P
+from repro.field.vector import (
+    from_field_array,
+    to_field_array,
+    vadd,
+    vmul,
+    vmul_scalar,
+    vneg,
+    vsub,
+)
+
+residues = st.integers(min_value=0, max_value=P - 1)
+vectors = st.lists(residues, min_size=1, max_size=64)
+
+#: Values near every carry/borrow boundary of the limb arithmetic.
+EDGES = [
+    0,
+    1,
+    2,
+    (1 << 32) - 1,
+    1 << 32,
+    (1 << 32) + 1,
+    (1 << 63) - 1,
+    1 << 63,
+    P - 1,
+    P - 2,
+    P - (1 << 32),
+    P - (1 << 32) + 1,
+]
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        arr = to_field_array(EDGES)
+        assert from_field_array(arr) == EDGES
+
+    def test_reduces_on_input(self):
+        arr = to_field_array([P, P + 5, -1])
+        assert from_field_array(arr) == [0, 5, P - 1]
+
+    def test_dtype(self):
+        assert to_field_array([1, 2]).dtype == np.uint64
+
+
+class TestEdgeMatrix:
+    """Exhaustive pairwise edge-value checks for every operation."""
+
+    def setup_method(self):
+        pairs = [(a, b) for a in EDGES for b in EDGES]
+        self.a = to_field_array([p[0] for p in pairs])
+        self.b = to_field_array([p[1] for p in pairs])
+        self.ia = [p[0] for p in pairs]
+        self.ib = [p[1] for p in pairs]
+
+    def test_vadd(self):
+        want = [(x + y) % P for x, y in zip(self.ia, self.ib)]
+        assert from_field_array(vadd(self.a, self.b)) == want
+
+    def test_vsub(self):
+        want = [(x - y) % P for x, y in zip(self.ia, self.ib)]
+        assert from_field_array(vsub(self.a, self.b)) == want
+
+    def test_vmul(self):
+        want = [x * y % P for x, y in zip(self.ia, self.ib)]
+        assert from_field_array(vmul(self.a, self.b)) == want
+
+    def test_vneg(self):
+        want = [(-x) % P for x in self.ia]
+        assert from_field_array(vneg(self.a)) == want
+
+
+class TestHypothesisVectors:
+    @settings(max_examples=50)
+    @given(data=vectors)
+    def test_add_matches_scalar(self, data):
+        a = to_field_array(data)
+        b = to_field_array(list(reversed(data)))
+        want = [(x + y) % P for x, y in zip(data, reversed(data))]
+        assert from_field_array(vadd(a, b)) == want
+
+    @settings(max_examples=50)
+    @given(data=vectors)
+    def test_mul_matches_scalar(self, data):
+        a = to_field_array(data)
+        b = to_field_array(list(reversed(data)))
+        want = [x * y % P for x, y in zip(data, reversed(data))]
+        assert from_field_array(vmul(a, b)) == want
+
+    @settings(max_examples=50)
+    @given(data=vectors, scalar=residues)
+    def test_mul_scalar(self, data, scalar):
+        a = to_field_array(data)
+        want = [x * scalar % P for x in data]
+        assert from_field_array(vmul_scalar(a, scalar)) == want
+
+    @settings(max_examples=50)
+    @given(data=vectors)
+    def test_sub_add_roundtrip(self, data):
+        a = to_field_array(data)
+        b = to_field_array(list(reversed(data)))
+        assert from_field_array(vadd(vsub(a, b), b)) == data
+
+    @settings(max_examples=30)
+    @given(data=vectors)
+    def test_results_canonical(self, data):
+        a = to_field_array(data)
+        b = to_field_array(list(reversed(data)))
+        for out in (vadd(a, b), vsub(a, b), vmul(a, b), vneg(a)):
+            assert all(v < P for v in from_field_array(out))
+
+
+class TestBroadcasting:
+    def test_vmul_broadcasts(self):
+        a = to_field_array(list(range(12))).reshape(3, 4)
+        row = to_field_array([5, 6, 7, 8]).reshape(1, 4)
+        out = vmul(a, row)
+        assert out.shape == (3, 4)
+        assert int(out[2, 3]) == 11 * 8 % P

@@ -1,0 +1,127 @@
+"""Tests for the 2-D banked memory (paper Fig. 5)."""
+
+import pytest
+
+from repro.hw.banked_memory import (
+    ACCESS_WIDTH,
+    ARRAY_POINTS,
+    BANK_COLS,
+    BANK_DEPTH,
+    BANK_ROWS,
+    BankConflictError,
+    BankedMemory,
+    M20K_PER_BANK,
+    linear_bank,
+    skewed_bank,
+)
+from repro.hw.data_route import column_read_beats, reductor_write_beats
+
+
+class TestGeometry:
+    def test_paper_dimensions(self):
+        """4×4 banks of 256×64-bit words = 4096 points = 256 Kbit."""
+        assert BANK_ROWS * BANK_COLS == 16
+        assert BANK_DEPTH == 256
+        assert ARRAY_POINTS == 4096
+        assert ARRAY_POINTS * 64 == 256 * 1024
+
+    def test_two_m20k_per_bank(self):
+        assert M20K_PER_BANK == 2
+
+    def test_mapping_bijective(self):
+        m = BankedMemory()
+        seen = set()
+        for i in range(ARRAY_POINTS):
+            key = m.map_address(i)
+            assert key not in seen
+            seen.add(key)
+
+    def test_out_of_range(self):
+        m = BankedMemory()
+        with pytest.raises(IndexError):
+            m.map_address(ARRAY_POINTS)
+        with pytest.raises(IndexError):
+            m.map_address(-1)
+
+
+class TestConflictFreedom:
+    @pytest.mark.parametrize("stride", [1, 2, 4, 8])
+    def test_aligned_strided_octets(self, stride):
+        """Every access shape of the radix-8/16/32/64 dataflows."""
+        m = BankedMemory()
+        block = 8 * stride
+        for base in range(0, ARRAY_POINTS - block + 1, block):
+            for j in range(stride):
+                indices = [base + stride * k + j for k in range(8)]
+                m._check_conflicts(indices, "test")
+
+    def test_linear_interleave_collides_on_stride8(self):
+        """The motivating claim: a linear bank map breaks on the FFT
+        write pattern."""
+        m = BankedMemory(skew=False)
+        with pytest.raises(BankConflictError):
+            m._check_conflicts([8 * k for k in range(8)], "write")
+
+    def test_linear_interleave_fine_on_sequential(self):
+        m = BankedMemory(skew=False)
+        m._check_conflicts(list(range(8)), "read")
+
+    def test_conflict_reported_with_points(self):
+        m = BankedMemory(skew=False)
+        with pytest.raises(BankConflictError, match="points 0 and 16"):
+            m._check_conflicts([0, 16], "write")
+
+
+class TestBeats:
+    def test_write_then_read_roundtrip(self):
+        m = BankedMemory()
+        values = list(range(100, 108))
+        indices = list(range(8, 16))
+        m.write_beat(indices, values)
+        assert m.read_beat(indices) == values
+
+    def test_beat_width_limit(self):
+        m = BankedMemory()
+        with pytest.raises(ValueError):
+            m.read_beat(list(range(9)))
+        with pytest.raises(ValueError):
+            m.write_beat(list(range(9)), list(range(9)))
+
+    def test_length_mismatch(self):
+        m = BankedMemory()
+        with pytest.raises(ValueError):
+            m.write_beat([0, 1], [5])
+
+    def test_beat_counters(self):
+        m = BankedMemory()
+        m.write_beat([0], [1])
+        m.read_beat([0])
+        m.read_beat([1])
+        assert m.write_beats == 1
+        assert m.read_beats == 2
+
+    def test_fft_block_pattern_roundtrip(self):
+        """Reductor-order writes then column-order reads restore a
+        64-point block — the inter-stage handoff."""
+        m = BankedMemory()
+        block = list(range(1000, 1064))
+        for beat in reductor_write_beats(256, 64):
+            m.write_beat(beat.indices, [block[i - 256] for i in beat.indices])
+        collected = {}
+        for beat in column_read_beats(256, 64):
+            for i, v in zip(beat.indices, m.read_beat(beat.indices)):
+                collected[i - 256] = v
+        assert [collected[i] for i in range(64)] == block
+
+    def test_backdoor_load_dump(self):
+        m = BankedMemory()
+        data = list(range(50))
+        m.load(data, base=100)
+        assert m.dump(50, base=100) == data
+
+
+class TestResources:
+    def test_m20k_accounting(self):
+        est = BankedMemory().resources()
+        assert est.m20k_bits == ARRAY_POINTS * 64
+        assert est.m20k_blocks == 16 * M20K_PER_BANK

@@ -1,0 +1,62 @@
+"""Tests for batch-pipelined multiplication scheduling."""
+
+import pytest
+
+from repro.hw.batch import schedule_batch
+from repro.hw.timing import PAPER_TIMING, AcceleratorTiming
+
+
+class TestSchedule:
+    def test_empty_batch(self):
+        s = schedule_batch(0)
+        assert s.total_cycles == 0
+        assert s.throughput_speedup == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_batch(-1)
+
+    def test_single_equals_serial(self):
+        s = schedule_batch(1)
+        assert s.total_cycles == PAPER_TIMING.multiplication_cycles()
+        assert s.throughput_speedup == pytest.approx(1.0)
+
+    def test_stage_order_per_multiply(self):
+        s = schedule_batch(4)
+        for fft_start, dot_start, carry_start, finish in s.spans:
+            assert fft_start < dot_start < carry_start < finish
+
+    def test_resources_never_double_booked(self):
+        s = schedule_batch(8)
+        fft = 3 * PAPER_TIMING.fft_cycles()
+        for prev, cur in zip(s.spans, s.spans[1:]):
+            assert cur[0] >= prev[0] + fft  # FFT engine serialized
+            assert cur[1] >= prev[1]  # dot bank in order
+            assert cur[2] >= prev[2]
+
+    def test_steady_state_is_fft_bound(self):
+        """Throughput limit = 3 transforms/product on the FFT engine."""
+        s = schedule_batch(16)
+        assert s.steady_state_interval == 3 * PAPER_TIMING.fft_cycles()
+
+    def test_speedup_approaches_serial_over_fft_ratio(self):
+        s = schedule_batch(200)
+        serial = PAPER_TIMING.multiplication_cycles()
+        bound = serial / (3 * PAPER_TIMING.fft_cycles())
+        assert s.throughput_speedup == pytest.approx(bound, rel=0.02)
+        assert s.throughput_speedup > 1.25
+
+    def test_monotone_in_count(self):
+        assert (
+            schedule_batch(10).throughput_speedup
+            < schedule_batch(100).throughput_speedup
+        )
+
+    def test_custom_timing(self):
+        timing = AcceleratorTiming(pes=8)
+        s = schedule_batch(4, timing=timing)
+        assert s.total_cycles < schedule_batch(4).total_cycles
+
+    def test_render(self):
+        text = schedule_batch(6).render()
+        assert "steady-state" in text and "1." in text

@@ -1,0 +1,208 @@
+"""Tests for the smaller hardware components: adder tree, shifter bank,
+data route, baseline unit, PE, device catalog, resource primitives."""
+
+import pytest
+
+from repro.field.solinas import P
+from repro.hw import resources as rc
+from repro.hw.adder_tree import AdderTree, csa_compress, csa_reduce
+from repro.hw.data_route import (
+    DataRoute,
+    column_read_beats,
+    reductor_write_beats,
+)
+from repro.hw.device import CYCLONE_V_PROTOTYPE, STRATIX_V_GSMD8
+from repro.hw.fft64_baseline import BaselineFFT64Unit
+from repro.hw.fft64_unit import FFT64Config, FFT64Unit
+from repro.hw.pe import TWIDDLE_MULTIPLIERS, ProcessingElement
+from repro.hw.shifter_bank import ShifterBank, signed_shift
+from repro.ntt.reference import dft_reference
+
+
+class TestCarrySave:
+    def test_compress_invariant(self, rng):
+        for _ in range(50):
+            a, b, c = (rng.randrange(1 << 190) for _ in range(3))
+            s, carry = csa_compress(a, b, c)
+            assert s + carry == a + b + c
+
+    def test_reduce_invariant(self, rng):
+        values = [rng.randrange(1 << 100) for _ in range(8)]
+        s, carry = csa_reduce(values)
+        assert s + carry == sum(values)
+
+    def test_reduce_few_inputs(self):
+        assert sum(csa_reduce([5])) == 5
+        assert sum(csa_reduce([5, 7])) == 12
+
+    def test_tree_sums(self, rng):
+        tree = AdderTree(name="t", width=96)
+        inputs = [rng.randrange(1 << 90) for _ in range(8)]
+        total, diff = tree.sums(inputs)
+        assert total == sum(inputs)
+        assert diff == sum(inputs[0::2]) - sum(inputs[1::2])
+
+    def test_tree_input_count(self):
+        with pytest.raises(ValueError):
+            AdderTree(name="t", width=8).sums([1, 2, 3])
+
+    def test_dual_output_costs_more(self):
+        plain = AdderTree(name="a", width=100, dual_output=False).resources()
+        dual = AdderTree(name="b", width=100, dual_output=True).resources()
+        assert dual.alms > plain.alms
+
+
+class TestShifterBank:
+    def test_signed_shift_folding(self):
+        assert signed_shift(50) == (50, False)
+        assert signed_shift(96) == (0, True)
+        assert signed_shift(100) == (4, True)
+        assert signed_shift(192) == (0, False)
+
+    def test_apply_matches_field(self, rng):
+        bank = ShifterBank(name="s", width=64, shift_sets=[[0, 24, 48]])
+        a = rng.randrange(P)
+        assert bank.apply(0, a, 24) == a * (1 << 24) % P
+
+    def test_unwired_shift_rejected(self):
+        bank = ShifterBank(name="s", width=64, shift_sets=[[0, 24]])
+        with pytest.raises(ValueError):
+            bank.apply(0, 5, 12)
+
+    def test_fixed_shift_is_free(self):
+        fixed = ShifterBank(name="f", width=64, shift_sets=[[24]] * 8)
+        assert fixed.resources().alms == 0
+
+    def test_selectable_shift_costs(self):
+        sel = ShifterBank(
+            name="s", width=64, shift_sets=[[0, 24, 48, 72]] * 8
+        )
+        assert sel.resources().alms > 0
+
+
+class TestDataRoute:
+    def test_column_beats_cover_block(self):
+        indices = set()
+        for beat in column_read_beats(128, 64):
+            assert len(beat.indices) == 8
+            indices.update(beat.indices)
+        assert indices == set(range(128, 192))
+
+    def test_write_beats_cover_block(self):
+        indices = set()
+        for beat in reductor_write_beats(0, 64):
+            indices.update(beat.indices)
+        assert indices == set(range(64))
+
+    def test_radix16_beats(self):
+        reads = list(column_read_beats(0, 16))
+        writes = list(reductor_write_beats(0, 16))
+        assert len(reads) == 2 and len(writes) == 2
+        assert set(reads[0].indices + reads[1].indices) == set(range(16))
+
+    def test_write_beats_are_8_spaced(self):
+        """The shared-reductor ordering: one point per block per cycle."""
+        first = next(iter(reductor_write_beats(0, 64)))
+        assert first.indices == [0, 8, 16, 24, 32, 40, 48, 56]
+
+    def test_route_counts(self):
+        route = DataRoute()
+        route.generate(column_read_beats(0, 64))
+        assert route.beats_generated == 8
+
+
+class TestBaselineUnit:
+    def test_functional_equivalence(self, rng):
+        x = [rng.randrange(P) for _ in range(64)]
+        baseline = BaselineFFT64Unit()
+        optimized = FFT64Unit()
+        assert baseline.transform(x) == optimized.transform(x)
+        assert baseline.transform(x) == dft_reference(x)
+
+    def test_same_throughput(self):
+        assert BaselineFFT64Unit.initiation_interval(64) == 8
+        assert BaselineFFT64Unit.initiation_interval(16) == 2
+
+    def test_costs_more_than_proposed(self):
+        baseline = BaselineFFT64Unit().resources()
+        proposed = FFT64Unit().resources()
+        assert baseline.alms > 2 * proposed.alms
+
+
+class TestProcessingElement:
+    def test_structure(self):
+        pe = ProcessingElement(0, 16384)
+        assert len(pe.twiddle_multipliers) == TWIDDLE_MULTIPLIERS == 8
+        assert len(pe.buffers) == 2  # double buffering
+        assert len(pe.buffers[0]) == 4  # 16K points / 4096 per array
+
+    def test_buffer_swap(self):
+        pe = ProcessingElement(0, 4096)
+        assert pe.active_buffer == 0
+        pe.swap_buffers()
+        assert pe.active_buffer == 1
+
+    def test_sub_transform_counts_cycles(self, rng):
+        pe = ProcessingElement(1, 4096)
+        x = [rng.randrange(P) for _ in range(64)]
+        pe.run_sub_transform(x)
+        pe.run_sub_transform(x[:16], 16)
+        assert pe.counters.fft_cycles == 10
+
+    def test_apply_twiddles(self, rng):
+        pe = ProcessingElement(0, 4096)
+        values = [rng.randrange(P) for _ in range(8)]
+        twiddles = [rng.randrange(1, P) for _ in range(8)]
+        out = pe.apply_twiddles(values, twiddles)
+        assert out == [v * t % P for v, t in zip(values, twiddles)]
+
+    def test_unity_twiddle_skips_multiplier(self):
+        pe = ProcessingElement(0, 4096)
+        pe.apply_twiddles([5], [1])
+        assert pe.counters.twiddle_products == 0
+
+    def test_resource_breakdown_sums_to_total(self):
+        pe = ProcessingElement(0, 16384)
+        total = pe.resources()
+        parts = pe.resource_breakdown()
+        assert total.alms == pytest.approx(
+            sum(p.alms for p in parts.values())
+        )
+
+
+class TestDeviceCatalog:
+    def test_stratix_v_capacities(self):
+        dev = STRATIX_V_GSMD8
+        assert dev.alms == 262_400
+        assert dev.registers == 4 * dev.alms
+        assert dev.dsp_blocks == 1_963
+
+    def test_utilization(self):
+        est = rc.ResourceEstimate(alms=26_240, dsp_blocks=196)
+        util = STRATIX_V_GSMD8.utilization(est)
+        assert util["alms"] == pytest.approx(0.10)
+
+    def test_cyclone_is_smaller(self):
+        assert CYCLONE_V_PROTOTYPE.alms < STRATIX_V_GSMD8.alms / 5
+
+
+class TestResourcePrimitives:
+    def test_estimate_add_and_scale(self):
+        a = rc.ResourceEstimate(alms=10, registers=4)
+        b = rc.ResourceEstimate(alms=5, dsp_blocks=2)
+        s = (a + b).scale(2)
+        assert s.alms == 30 and s.registers == 8 and s.dsp_blocks == 4
+
+    def test_mux_grows_with_ways(self):
+        assert rc.mux(64, 16).alms > rc.mux(64, 4).alms
+        assert rc.mux(64, 1).alms == 0
+
+    def test_csa_tree_rows(self):
+        assert rc.csa_tree(8, 100).alms == pytest.approx(6 * rc.csa(100).alms)
+        assert rc.csa_tree(2, 100).alms == 0
+
+    def test_report_render(self):
+        report = rc.ResourceReport(title="x")
+        report.add("part", rc.ResourceEstimate(alms=100))
+        text = report.render(device=STRATIX_V_GSMD8)
+        assert "part" in text and "TOTAL" in text and "%" in text

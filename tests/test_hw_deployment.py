@@ -1,0 +1,101 @@
+"""Tests for the deployment models (Stratix vs Cyclone prototype)."""
+
+import pytest
+
+from repro.hw.deployment import (
+    CYCLONE_MULTI_BOARD,
+    STRATIX_ON_CHIP,
+    DeploymentSpec,
+    evaluate_deployment,
+)
+from repro.hw.device import CYCLONE_V_PROTOTYPE
+
+
+class TestStratixOnChip:
+    def test_matches_paper_numbers(self):
+        report = evaluate_deployment(STRATIX_ON_CHIP)
+        assert report.fft_time_us == pytest.approx(30.72)
+        assert report.multiplication_time_us(65536) == pytest.approx(
+            122.88
+        )
+
+    def test_fits(self):
+        report = evaluate_deployment(STRATIX_ON_CHIP)
+        assert report.fits
+        assert report.fit_notes == ()
+
+    def test_exchange_fully_hidden(self):
+        report = evaluate_deployment(STRATIX_ON_CHIP)
+        assert all(s.exposed_cycles == 0 for s in report.stages)
+
+    def test_single_device(self):
+        assert STRATIX_ON_CHIP.devices_needed == 1
+
+
+class TestCyclonePrototype:
+    def test_needs_four_boards(self):
+        assert CYCLONE_MULTI_BOARD.devices_needed == 4
+
+    def test_pe_fits_one_cyclone(self):
+        report = evaluate_deployment(CYCLONE_MULTI_BOARD)
+        assert report.fits, report.fit_notes
+
+    def test_offchip_links_expose_communication(self):
+        """The quantitative reason the paper moved to a big device:
+        board-to-board links cannot hide the redistribution."""
+        report = evaluate_deployment(CYCLONE_MULTI_BOARD)
+        exposed = sum(s.exposed_cycles for s in report.stages)
+        assert exposed > 0
+
+    def test_slower_than_final_design(self):
+        proto = evaluate_deployment(CYCLONE_MULTI_BOARD)
+        final = evaluate_deployment(STRATIX_ON_CHIP)
+        assert proto.fft_time_us > 3 * final.fft_time_us
+
+
+class TestCustomSpecs:
+    def test_two_pes_per_cyclone_overflows(self):
+        """Two PEs worth of DSP/memory exceed one Cyclone V."""
+        spec = DeploymentSpec(
+            name="overpacked",
+            device=CYCLONE_V_PROTOTYPE,
+            pes=4,
+            pes_per_device=2,
+            clock_ns=10.0,
+            link_words_per_cycle=1,
+            dot_product_multipliers=8,
+        )
+        report = evaluate_deployment(spec)
+        assert not report.fits
+        assert report.fit_notes
+
+    def test_faster_links_reduce_exposure(self):
+        slow = evaluate_deployment(CYCLONE_MULTI_BOARD)
+        fast_spec = DeploymentSpec(
+            name="fast-links",
+            device=CYCLONE_V_PROTOTYPE,
+            pes=4,
+            pes_per_device=1,
+            clock_ns=10.0,
+            link_words_per_cycle=8,
+            dot_product_multipliers=8,
+        )
+        fast = evaluate_deployment(fast_spec)
+        assert fast.fft_cycles < slow.fft_cycles
+
+    def test_single_pe_no_exchange(self):
+        spec = DeploymentSpec(
+            name="solo",
+            device=CYCLONE_V_PROTOTYPE,
+            pes=1,
+            pes_per_device=1,
+            clock_ns=10.0,
+            link_words_per_cycle=1,
+            dot_product_multipliers=8,
+        )
+        report = evaluate_deployment(spec)
+        assert all(s.exchange_cycles == 0 for s in report.stages)
+
+    def test_render(self):
+        text = evaluate_deployment(CYCLONE_MULTI_BOARD).render()
+        assert "EXPOSED" in text and "Cyclone" in text

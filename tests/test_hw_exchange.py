@@ -1,0 +1,78 @@
+"""Tests for the clocked exchange engine (compute/comm overlap)."""
+
+import pytest
+
+from repro.hw.exchange import (
+    ComputeLoad,
+    ExchangeEngine,
+    run_overlapped_exchange,
+)
+from repro.hw.hypercube import LINK_WORDS_PER_CYCLE
+from repro.sim.kernel import Fifo, Simulator
+
+
+class TestDataIntegrity:
+    def test_words_arrive_intact_and_ordered(self):
+        a = list(range(1000, 1100))
+        b = list(range(2000, 2100))
+        got_a, got_b, _, _, _ = run_overlapped_exchange(a, b, 0)
+        assert got_a == b
+        assert got_b == a
+
+    def test_asymmetric_sizes(self):
+        a = list(range(64))
+        b = list(range(16))
+        sim = Simulator()
+        ab = sim.add_fifo(Fifo("ab"))
+        ba = sim.add_fifo(Fifo("ba"))
+        ea = sim.add(ExchangeEngine("a", a, ab, ba))
+        eb = sim.add(ExchangeEngine("b", b, ba, ab))
+        # Each side expects what the other sends.
+        ea.expected = len(b)
+        eb.expected = len(a)
+        sim.run_until(lambda: ea.done and eb.done, max_cycles=1000)
+        assert ea.received == b
+        assert eb.received == a
+
+
+class TestTiming:
+    def test_transfer_cycles_match_link_width(self):
+        """8192 words at 8 words/cycle ≈ 1024 cycles + pipeline edge."""
+        words = list(range(8192))
+        _, _, done, _, _ = run_overlapped_exchange(words, words, 0)
+        expected = 8192 // LINK_WORDS_PER_CYCLE
+        assert expected <= done <= expected + 2
+
+    def test_overlap_total_is_max_not_sum(self):
+        """The double-buffering claim: total time = max(compute, comm)."""
+        words = list(range(800))  # 100 cycles of transfer
+        transfer_cycles = len(words) // LINK_WORDS_PER_CYCLE
+        compute_cycles = 300
+        _, _, comm_done, compute_done, total = run_overlapped_exchange(
+            words, words, compute_cycles
+        )
+        assert total <= max(transfer_cycles, compute_cycles) + 3
+        assert total < transfer_cycles + compute_cycles
+
+    def test_comm_bound_case(self):
+        words = list(range(4000))  # 500 cycles
+        _, _, _, _, total = run_overlapped_exchange(words, words, 100)
+        assert 500 <= total <= 503
+
+    def test_compute_bound_case(self):
+        """The paper's operating point: exchange hides entirely."""
+        words = list(range(80))  # 10 cycles
+        _, _, comm_done, _, total = run_overlapped_exchange(
+            words, words, 2048
+        )
+        assert comm_done < 15
+        assert 2048 <= total <= 2050
+
+
+class TestComputeLoad:
+    def test_counts_down(self):
+        sim = Simulator()
+        load = sim.add(ComputeLoad("c", 5))
+        sim.step(5)
+        assert load.done
+        assert load.finished_at == 4

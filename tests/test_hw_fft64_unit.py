@@ -1,0 +1,121 @@
+"""Tests for the optimized FFT-64 unit (functional, cycles, cost)."""
+
+import pytest
+
+from repro.field.solinas import P
+from repro.hw.fft64_unit import FFT64Config, FFT64Unit, POINTS_PER_CYCLE
+from repro.ntt.radix64 import SHIFT_RADICES, ntt_shift_radix
+from repro.ntt.reference import dft_reference
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("radix", SHIFT_RADICES)
+    def test_matches_reference(self, radix, rng):
+        unit = FFT64Unit()
+        x = [rng.randrange(P) for _ in range(radix)]
+        assert unit.transform(x, radix) == dft_reference(x)
+
+    def test_all_config_variants_bit_exact(self, rng):
+        """Every ablation config computes identical values — the flags
+        trade cost, never correctness."""
+        x = [rng.randrange(P) for _ in range(64)]
+        want = ntt_shift_radix(x, 64)
+        for shared in (True, False):
+            for halved in (True, False):
+                for reduced in (True, False):
+                    config = FFT64Config(
+                        shared_first_stage=shared,
+                        halved_chains=halved,
+                        reduced_twiddle_shifts=reduced,
+                    )
+                    assert FFT64Unit(config=config).transform(x) == want
+
+    @pytest.mark.parametrize("radix", (8, 16, 32))
+    def test_small_radix_shared_datapath(self, radix, rng):
+        """Radix-8/16/32 run through the same two-stage structure
+        (Section IV-b's 'minor modifications'), bit-exact vs the
+        direct chains."""
+        unit = FFT64Unit()
+        for _ in range(3):
+            x = [rng.randrange(P) for _ in range(radix)]
+            assert unit.transform(list(x), radix) == ntt_shift_radix(
+                list(x), radix
+            )
+
+    def test_radix16_block_twiddle_degenerates_to_sign(self):
+        """ω16^8 = 2^96 = −1: the second block accumulates with the
+        subtract flag only."""
+        from repro.hw.shifter_bank import signed_shift
+
+        shift, negate = signed_shift(8 * (192 // 16))
+        assert shift == 0 and negate
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            FFT64Unit().transform([1, 2, 3], 64)
+
+    def test_unsupported_radix_rejected(self):
+        with pytest.raises(ValueError):
+            FFT64Unit().transform([1, 2, 3, 4], 4)
+
+
+class TestTiming:
+    def test_initiation_intervals(self):
+        """Section V: an FFT-64 every 8 cycles, an FFT-16 every 2."""
+        assert FFT64Unit.initiation_interval(64) == 8
+        assert FFT64Unit.initiation_interval(16) == 2
+        assert FFT64Unit.initiation_interval(32) == 4
+        assert FFT64Unit.initiation_interval(8) == 1
+
+    def test_throughput_is_eight_points_per_cycle(self):
+        for radix in SHIFT_RADICES:
+            interval = FFT64Unit.initiation_interval(radix)
+            assert radix / interval == POINTS_PER_CYCLE
+
+    def test_busy_ledger(self, rng):
+        unit = FFT64Unit()
+        x64 = [rng.randrange(P) for _ in range(64)]
+        x16 = [rng.randrange(P) for _ in range(16)]
+        unit.transform(x64)
+        unit.transform(x64)
+        unit.transform(x16, 16)
+        assert unit.busy_cycles == 8 + 8 + 2
+        assert unit.transforms == 3
+        assert unit.radix_counts == {64: 2, 16: 1}
+
+
+class TestCost:
+    def test_proposed_cheaper_than_baseline(self):
+        proposed = FFT64Unit(config=FFT64Config.proposed()).resources()
+        baseline = FFT64Unit(config=FFT64Config.baseline()).resources()
+        assert proposed.alms < baseline.alms
+        assert proposed.registers < baseline.registers
+
+    def test_each_optimization_saves_alms(self):
+        """Toggling any single flag off from the proposed config must
+        not reduce cost — each optimization pays for itself."""
+        base = FFT64Unit(config=FFT64Config.proposed()).resources().alms
+        for flag in (
+            "shared_first_stage",
+            "halved_chains",
+            "reduced_twiddle_shifts",
+            "merged_carry_save",
+            "shared_reductors",
+            "input_normalize",
+        ):
+            config = FFT64Config(**{flag: False})
+            cost = FFT64Unit(config=config).resources().alms
+            assert cost >= base, f"disabling {flag} got cheaper"
+
+    def test_shared_reductors_save_most_of_reduction(self):
+        shared = FFT64Unit(
+            config=FFT64Config(shared_reductors=True)
+        ).resources()
+        private = FFT64Unit(
+            config=FFT64Config(shared_reductors=False)
+        ).resources()
+        assert private.alms > shared.alms
+
+    def test_no_dsp_in_unit(self):
+        """The unit is shift-and-add only; DSPs live in the modmuls."""
+        assert FFT64Unit().resources().dsp_blocks == 0

@@ -1,0 +1,78 @@
+"""Tests for the hypercube topology model."""
+
+import pytest
+
+from repro.hw.hypercube import LINK_WORDS_PER_CYCLE, HypercubeTopology
+
+
+class TestTopology:
+    @pytest.mark.parametrize("nodes,dim", [(1, 0), (2, 1), (4, 2), (8, 3), (16, 4)])
+    def test_dimension(self, nodes, dim):
+        assert HypercubeTopology(nodes).dimension == dim
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            HypercubeTopology(3)
+        with pytest.raises(ValueError):
+            HypercubeTopology(0)
+
+    def test_neighbors_differ_in_one_bit(self):
+        cube = HypercubeTopology(8)
+        for node in range(8):
+            for neighbor in cube.neighbors(node):
+                assert bin(node ^ neighbor).count("1") == 1
+
+    def test_neighbor_count_is_dimension(self):
+        cube = HypercubeTopology(16)
+        assert len(cube.neighbors(5)) == 4
+
+    def test_partner_symmetry(self):
+        cube = HypercubeTopology(4)
+        for node in range(4):
+            for dim in range(2):
+                partner = cube.partner(node, dim)
+                assert cube.partner(partner, dim) == node
+
+    def test_partner_out_of_range(self):
+        cube = HypercubeTopology(4)
+        with pytest.raises(ValueError):
+            cube.partner(0, 2)
+        with pytest.raises(ValueError):
+            cube.partner(4, 0)
+
+    def test_single_node_partner_is_self(self):
+        assert HypercubeTopology(1).partner(0, 0) == 0
+
+
+class TestExchangeSchedule:
+    def test_one_step_per_dimension(self):
+        """Paper: 'the number of communication stages ... is the
+        hypercube dimension d'."""
+        cube = HypercubeTopology(8)
+        schedule = cube.exchange_schedule()
+        assert len(schedule) == 3
+
+    def test_every_node_paired_once_per_step(self):
+        cube = HypercubeTopology(8)
+        for step in cube.exchange_schedule():
+            seen = set()
+            for a, b in step.pairs:
+                seen.update((a, b))
+            assert seen == set(range(8))
+
+    def test_interleaving_condition(self):
+        """l > d: 3 compute stages suffice for up to 4 PEs."""
+        assert HypercubeTopology(4).validate_interleaving(3)
+        assert not HypercubeTopology(8).validate_interleaving(3)
+        assert HypercubeTopology(16).validate_interleaving(5)
+
+
+class TestTransfers:
+    def test_transfer_cycles(self):
+        assert HypercubeTopology.transfer_cycles(0) == 0
+        assert HypercubeTopology.transfer_cycles(8) == 1
+        assert HypercubeTopology.transfer_cycles(9) == 2
+        assert HypercubeTopology.transfer_cycles(8192) == 1024
+
+    def test_link_width_matches_buffer_port(self):
+        assert LINK_WORDS_PER_CYCLE == 8

@@ -1,0 +1,66 @@
+"""Tests for the DSP modular multiplier model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field.solinas import P
+from repro.hw.modmul import (
+    DSP_PER_32X32,
+    PARTIAL_PRODUCTS,
+    PIPELINE_DEPTH,
+    ModularMultiplier,
+)
+
+residues = st.integers(min_value=0, max_value=P - 1)
+
+
+class TestFunctional:
+    def test_simple(self):
+        assert ModularMultiplier().multiply(3, 5) == 15
+
+    def test_wrap(self):
+        m = ModularMultiplier()
+        assert m.multiply(P - 1, P - 1) == 1  # (-1)² = 1
+
+    def test_edges(self):
+        m = ModularMultiplier()
+        for a in (0, 1, P - 1, (1 << 32) - 1, 1 << 32, 1 << 63):
+            for b in (0, 1, P - 1, (1 << 32), (1 << 63) + 12345):
+                assert m.multiply(a, b) == a * b % P
+
+    @settings(max_examples=150)
+    @given(a=residues, b=residues)
+    def test_matches_reference(self, a, b):
+        assert ModularMultiplier().multiply(a, b) == a * b % P
+
+    def test_rejects_non_canonical(self):
+        with pytest.raises(ValueError):
+            ModularMultiplier().multiply(P, 1)
+        with pytest.raises(ValueError):
+            ModularMultiplier().multiply(1, -1)
+
+    def test_counts_operations(self):
+        m = ModularMultiplier()
+        for _ in range(7):
+            m.multiply(2, 3)
+        assert m.operations == 7
+
+
+class TestTimingAndCost:
+    def test_busy_cycles_pipelined(self):
+        m = ModularMultiplier()
+        assert m.busy_cycles(0) == 0
+        assert m.busy_cycles(1) == PIPELINE_DEPTH
+        assert m.busy_cycles(100) == 100 + PIPELINE_DEPTH - 1
+
+    def test_dsp_count(self):
+        """Section IV-d: four 32×32 DSP multipliers, two blocks each."""
+        est = ModularMultiplier.resources()
+        assert est.dsp_blocks == PARTIAL_PRODUCTS * DSP_PER_32X32 == 8
+
+    def test_soft_logic_nonzero(self):
+        est = ModularMultiplier.resources()
+        assert est.alms > 0
+        assert est.registers > 0
+        assert est.m20k_bits == 0

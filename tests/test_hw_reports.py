@@ -1,0 +1,125 @@
+"""Tests for the Table I / Table II generators — the shape checks."""
+
+import pytest
+
+from repro.analysis.tables import (
+    PAPER_HARDWARE_SAVING,
+    PAPER_MIN_SPEEDUP_OTHERS,
+    PAPER_SPEEDUP_VS_28,
+)
+from repro.hw.reports import (
+    PAPER_TABLE1,
+    baseline_fft_census,
+    proposed_fft_census,
+    table1_report,
+    table2_report,
+)
+
+
+class TestTable1:
+    def test_dsp_counts_exact(self):
+        """DSP blocks are a hard census: 4 PE × 8 modmul × 8 DSP = 256
+        vs the baseline's published 720."""
+        t1 = table1_report()
+        assert t1.row("proposed").dsp_blocks == 256
+        assert t1.row("baseline[28]").dsp_blocks == 720
+
+    def test_m20k_bits_exact(self):
+        """8 Mbit = 64K points × 64 bits × double buffering."""
+        t1 = table1_report()
+        assert t1.row("proposed").m20k_bits == 8 * 1024 * 1024
+
+    def test_alms_within_15pct_of_paper(self):
+        t1 = table1_report()
+        for design in ("proposed", "baseline[28]"):
+            computed = t1.row(design).alms
+            printed = PAPER_TABLE1[design]["alms"]
+            assert computed == pytest.approx(printed, rel=0.15)
+
+    def test_registers_within_25pct_of_paper(self):
+        t1 = table1_report()
+        for design in ("proposed", "baseline[28]"):
+            computed = t1.row(design).registers
+            printed = PAPER_TABLE1[design]["registers"]
+            assert computed == pytest.approx(printed, rel=0.25)
+
+    def test_hardware_saving_around_60pct(self):
+        """Section V: 'around 60% saving in hardware costs'."""
+        t1 = table1_report()
+        assert 0.45 <= t1.saving("alms") <= 0.70
+        assert 0.45 <= t1.saving("registers") <= 0.70
+        assert t1.saving("dsp_blocks") == pytest.approx(1 - 256 / 720)
+
+    def test_fits_on_device(self):
+        """Both designs must fit the 5SGSMD8 (the paper synthesized
+        them), with the proposed far below full."""
+        t1 = table1_report()
+        dev = t1.device
+        assert t1.row("proposed").alms < 0.5 * dev.alms
+        assert t1.row("baseline[28]").alms < dev.alms
+
+    def test_render_mentions_everything(self):
+        text = table1_report().render()
+        for token in ("proposed", "baseline[28]", "paper", "ALMs", "saving"):
+            assert token in text
+
+
+class TestCensusDetails:
+    def test_proposed_census_entries(self):
+        report = proposed_fft_census()
+        names = [name for name, _ in report.entries]
+        assert any("fft64" in n for n in names)
+        assert any("banked_memory" in n for n in names)
+        assert any("hypercube" in n for n in names)
+
+    def test_census_scales_with_pes(self):
+        two = proposed_fft_census(pes=2).total
+        four = proposed_fft_census(pes=4).total
+        assert four.dsp_blocks == 2 * two.dsp_blocks
+
+    def test_baseline_census_has_pipeline_regs(self):
+        report = baseline_fft_census()
+        names = [name for name, _ in report.entries]
+        assert any("pipeline" in n for n in names)
+
+
+class TestTable2:
+    def test_proposed_wins_everywhere(self):
+        t2 = table2_report()
+        ours = t2.row("proposed").mult_us
+        for row in t2.rows[1:]:
+            if row.mult_us is not None:
+                assert ours < row.mult_us
+
+    def test_speedup_vs_28(self):
+        t2 = table2_report()
+        assert t2.speedup_vs("wang_huang_fpga[28]") == pytest.approx(
+            PAPER_SPEEDUP_VS_28, rel=0.05
+        )
+
+    def test_published_speedups_preserved(self):
+        """'the other results are 1.69X larger, or more'."""
+        t2 = table2_report()
+        ours = t2.row("proposed").mult_us
+        others = [
+            "wang_vlsi_asic[30] (published)",
+            "wang_gpu[26] (published)",
+            "wang_gpu[27] (published)",
+        ]
+        for name in others:
+            # 1% slack: the paper computes 206/122 ≈ 1.69 with its
+            # rounded 122 µs where our model gives 122.88.
+            ratio = t2.row(name).mult_us / ours
+            assert ratio >= PAPER_MIN_SPEEDUP_OTHERS * 0.99
+
+    def test_fft_speedup_vs_28(self):
+        """Paper Table II: 30.7 µs vs 125 µs ≈ 4×."""
+        t2 = table2_report()
+        ratio = (
+            t2.row("wang_huang_fpga[28]").fft_us / t2.row("proposed").fft_us
+        )
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_render(self):
+        text = table2_report().render()
+        assert "TABLE II" in text and "speedup" in text

@@ -1,0 +1,99 @@
+"""Tests for NTT-based cyclic convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field.solinas import P
+from repro.field.vector import from_field_array, to_field_array
+from repro.ntt.convolution import cyclic_convolution, pointwise_mul
+from repro.ntt.plan import plan_for_size
+
+
+def direct_cyclic(a, b):
+    n = len(a)
+    out = [0] * n
+    for i in range(n):
+        for j in range(n):
+            out[(i + j) % n] = (out[(i + j) % n] + a[i] * b[j]) % P
+    return out
+
+
+class TestPointwise:
+    def test_values(self):
+        a = to_field_array([2, 3, P - 1])
+        b = to_field_array([5, 7, 2])
+        assert from_field_array(pointwise_mul(a, b)) == [
+            10,
+            21,
+            (P - 1) * 2 % P,
+        ]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pointwise_mul(to_field_array([1]), to_field_array([1, 2]))
+
+
+class TestCyclicConvolution:
+    @pytest.mark.parametrize("n", [2, 4, 16, 64])
+    def test_matches_direct(self, n, rng):
+        a = [rng.randrange(1 << 20) for _ in range(n)]
+        b = [rng.randrange(1 << 20) for _ in range(n)]
+        got = cyclic_convolution(to_field_array(a), to_field_array(b))
+        assert from_field_array(got) == direct_cyclic(a, b)
+
+    def test_identity_element(self, rng):
+        """Convolving with the unit impulse is the identity."""
+        n = 64
+        a = [rng.randrange(P) for _ in range(n)]
+        impulse = [1] + [0] * (n - 1)
+        got = cyclic_convolution(to_field_array(a), to_field_array(impulse))
+        assert from_field_array(got) == a
+
+    def test_shift_by_impulse(self, rng):
+        """Convolving with a shifted impulse rotates the vector."""
+        n = 16
+        a = [rng.randrange(P) for _ in range(n)]
+        e3 = [0] * n
+        e3[3] = 1
+        got = from_field_array(
+            cyclic_convolution(to_field_array(a), to_field_array(e3))
+        )
+        assert got == a[-3:] + a[:-3]
+
+    @settings(max_examples=25)
+    @given(
+        data=st.lists(
+            st.integers(min_value=0, max_value=(1 << 24) - 1),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    def test_commutative(self, data):
+        a = to_field_array(data)
+        b = to_field_array(list(reversed(data)))
+        ab = cyclic_convolution(a, b)
+        ba = cyclic_convolution(b, a)
+        assert np.array_equal(ab, ba)
+
+    def test_explicit_plan(self, rng):
+        n = 256
+        plan = plan_for_size(n, (16, 16))
+        a = [rng.randrange(1 << 20) for _ in range(n)]
+        b = [rng.randrange(1 << 20) for _ in range(n)]
+        got = cyclic_convolution(
+            to_field_array(a), to_field_array(b), plan=plan
+        )
+        assert from_field_array(got) == direct_cyclic(a, b)
+
+    def test_plan_size_mismatch(self):
+        plan = plan_for_size(16, (4, 4))
+        with pytest.raises(ValueError):
+            cyclic_convolution(
+                to_field_array([1] * 8), to_field_array([1] * 8), plan=plan
+            )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cyclic_convolution(to_field_array([1, 2]), to_field_array([1]))

@@ -1,0 +1,111 @@
+"""Tests for transform plans (repro.ntt.plan)."""
+
+import numpy as np
+import pytest
+
+from repro.field.roots import root_of_unity
+from repro.field.solinas import P, inverse
+from repro.ntt.plan import (
+    PAPER_RADICES,
+    PAPER_TRANSFORM_SIZE,
+    TransformPlan,
+    paper_64k_plan,
+    plan_for_size,
+)
+
+
+class TestPlanConstruction:
+    def test_paper_plan_shape(self):
+        plan = paper_64k_plan()
+        assert plan.n == PAPER_TRANSFORM_SIZE == 65536
+        assert plan.radices == PAPER_RADICES == (64, 64, 16)
+        assert plan.stage_count == 3
+
+    def test_paper_sub_transform_counts(self):
+        """Eq. 2 workload: 1024 + 1024 radix-64, 4096 radix-16 — the
+        counts in the T_FFT formula."""
+        plan = paper_64k_plan()
+        assert plan.sub_transform_counts() == [
+            (64, 1024),
+            (64, 1024),
+            (16, 4096),
+        ]
+
+    def test_default_radices_prefer_64(self):
+        assert plan_for_size(4096).radices == (64, 64)
+        assert plan_for_size(1024).radices == (64, 16)
+        assert plan_for_size(64).radices == (64,)
+        assert plan_for_size(2).radices == (2,)
+
+    def test_bad_factorization_rejected(self):
+        with pytest.raises(ValueError):
+            plan_for_size(1024, (64, 8))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            plan_for_size(100)
+
+    def test_plans_are_cached(self):
+        assert plan_for_size(1024) is plan_for_size(1024)
+
+    def test_inverse_companion(self):
+        plan = plan_for_size(256, (16, 16))
+        inv = plan.inverse_plan
+        assert inv is not None
+        assert inv.omega == inverse(plan.omega)
+        assert inv.radices == plan.radices
+
+
+class TestStageTables:
+    def test_dft_matrix_entries(self):
+        plan = plan_for_size(1024, (64, 16))
+        stage = plan.stages[0]
+        root = pow(plan.omega, 1024 // 64, P)
+        for k in (0, 1, 7, 63):
+            for i in (0, 1, 5, 63):
+                assert int(stage.dft_matrix[k, i]) == pow(
+                    root, (k * i) % 64, P
+                )
+
+    def test_first_stage_root_is_shift_only(self):
+        """With the anchored ω, every stage's sub-DFT root is a power
+        of two — the hardware shift property."""
+        plan = paper_64k_plan()
+        for stage in plan.stages:
+            root = int(stage.dft_matrix[1, 1])
+            # root must be 2^s for some s
+            value, s = 1, None
+            for e in range(192):
+                if value == root:
+                    s = e
+                    break
+                value = value * 2 % P
+            assert s is not None, f"stage root {root} is not a 2-power"
+
+    def test_twiddle_tables_shape(self):
+        plan = paper_64k_plan()
+        assert plan.stages[0].twiddles.shape == (64, 1024)
+        assert plan.stages[1].twiddles.shape == (64, 16)
+        assert plan.stages[2].twiddles is None
+
+    def test_twiddle_values(self):
+        plan = plan_for_size(256, (16, 16))
+        tw = plan.stages[0].twiddles
+        for k1 in (0, 3, 15):
+            for n2 in (0, 1, 9):
+                assert int(tw[k1, n2]) == pow(plan.omega, k1 * n2, P)
+
+
+class TestOutputPermutation:
+    def test_permutation_is_bijection(self):
+        plan = plan_for_size(1024, (64, 16))
+        perm = plan.output_permutation
+        assert sorted(perm.tolist()) == list(range(1024))
+
+    def test_two_stage_digit_reversal(self):
+        """out[R1·k2 + k1] = blocks ordered (k1, k2)."""
+        plan = plan_for_size(16, (4, 4))
+        perm = plan.output_permutation
+        for k1 in range(4):
+            for k2 in range(4):
+                assert perm[4 * k2 + k1] == 4 * k1 + k2

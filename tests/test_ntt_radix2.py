@@ -1,0 +1,66 @@
+"""Tests for the radix-2 NTT (scalar and numpy paths)."""
+
+import numpy as np
+import pytest
+
+from repro.field.solinas import P
+from repro.field.vector import from_field_array, to_field_array
+from repro.ntt.radix2 import (
+    intt_radix2,
+    intt_radix2_numpy,
+    ntt_radix2,
+    ntt_radix2_numpy,
+)
+from repro.ntt.reference import dft_reference
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 256])
+def test_matches_reference(n, rng):
+    x = [rng.randrange(P) for _ in range(n)]
+    assert ntt_radix2(x) == dft_reference(x)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 64, 512])
+def test_numpy_matches_scalar(n, rng):
+    x = [rng.randrange(P) for _ in range(n)]
+    got = from_field_array(ntt_radix2_numpy(to_field_array(x)))
+    assert got == ntt_radix2(x)
+
+
+@pytest.mark.parametrize("n", [2, 16, 128])
+def test_inverse_roundtrip_scalar(n, rng):
+    x = [rng.randrange(P) for _ in range(n)]
+    assert intt_radix2(ntt_radix2(x)) == x
+
+
+@pytest.mark.parametrize("n", [2, 16, 4096])
+def test_inverse_roundtrip_numpy(n, rng):
+    x = to_field_array([rng.randrange(P) for _ in range(n)])
+    back = intt_radix2_numpy(ntt_radix2_numpy(x))
+    assert np.array_equal(back, x)
+
+
+def test_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        ntt_radix2([1, 2, 3])
+    with pytest.raises(ValueError):
+        ntt_radix2_numpy(to_field_array([1, 2, 3]))
+
+
+def test_rejects_empty():
+    with pytest.raises(ValueError):
+        ntt_radix2([])
+
+
+def test_large_transform_consistency(rng):
+    """64K-point numpy radix-2 agrees with itself through the inverse."""
+    x = to_field_array([rng.randrange(P) for _ in range(65536)])
+    spectrum = ntt_radix2_numpy(x)
+    assert np.array_equal(intt_radix2_numpy(spectrum), x)
+
+
+def test_input_not_mutated(rng):
+    x = [rng.randrange(P) for _ in range(16)]
+    arr = to_field_array(x)
+    ntt_radix2_numpy(arr)
+    assert from_field_array(arr) == x

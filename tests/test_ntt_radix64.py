@@ -1,0 +1,111 @@
+"""Tests for the shift-only radix kernels and the Eq. 5 dataflow."""
+
+import pytest
+
+from repro.field.solinas import P
+from repro.ntt.radix64 import (
+    SHIFT_RADICES,
+    accumulator_twiddle,
+    ntt64_two_stage,
+    ntt_shift_radix,
+    shift_root_exponent,
+    stage1_mid_twiddle,
+    stage1_partial_sums,
+)
+from repro.ntt.reference import dft_reference
+
+
+class TestShiftRadix:
+    @pytest.mark.parametrize("radix", SHIFT_RADICES)
+    def test_matches_reference(self, radix, rng):
+        x = [rng.randrange(P) for _ in range(radix)]
+        assert ntt_shift_radix(x, radix) == dft_reference(x)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            ntt_shift_radix([1, 2, 3], 64)
+
+    def test_rejects_unsupported_radix(self):
+        with pytest.raises(ValueError):
+            ntt_shift_radix([1, 2, 3, 4], 4)
+
+    def test_root_exponents(self):
+        assert shift_root_exponent(64) == 3
+        assert shift_root_exponent(32) == 6
+        assert shift_root_exponent(16) == 12
+        assert shift_root_exponent(8) == 24
+
+
+class TestTwoStage:
+    def test_matches_reference(self, rng):
+        x = [rng.randrange(P) for _ in range(64)]
+        assert ntt64_two_stage(x) == dft_reference(x)
+
+    def test_matches_direct_chains(self, rng):
+        """The optimized dataflow equals the baseline evaluation —
+        the functional-equivalence claim behind Table I."""
+        x = [rng.randrange(P) for _ in range(64)]
+        assert ntt64_two_stage(x) == ntt_shift_radix(x, 64)
+
+    def test_impulse(self):
+        x = [0] * 64
+        x[0] = 1
+        assert ntt64_two_stage(x) == [1] * 64
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            ntt64_two_stage([1] * 63)
+
+
+class TestStage1:
+    def test_halved_chains_symmetry(self, rng):
+        """u[k+4] from the even/odd split equals the direct chain."""
+        column = [rng.randrange(P) for _ in range(8)]
+        partials = stage1_partial_sums(column)
+        w8 = pow(2, 24, P)
+        for k1 in range(8):
+            direct = (
+                sum(
+                    column[i] * pow(w8, i * k1, P) for i in range(8)
+                )
+                % P
+            )
+            assert partials[k1] == direct
+
+    def test_mid_twiddle_values(self, rng):
+        """Twiddled chains match ω64^{j·k1} including the ω16^j factor
+        for the derived chains."""
+        column = [rng.randrange(P) for _ in range(8)]
+        partials = stage1_partial_sums(column)
+        for j in range(8):
+            twiddled = stage1_mid_twiddle(dict(partials), j)
+            for k1 in range(8):
+                want = partials[k1] * pow(8, j * k1, P) % P
+                assert twiddled[k1] == want
+
+    def test_stage1_rejects_short_column(self):
+        with pytest.raises(ValueError):
+            stage1_partial_sums([1, 2, 3])
+
+
+class TestAccumulatorTwiddle:
+    def test_only_four_shifts(self):
+        """Paper: the eight twiddles reduce to shifts {0,24,48,72}."""
+        shifts = set()
+        for j in range(8):
+            for k2 in range(8):
+                shift, _ = accumulator_twiddle(j, k2)
+                shifts.add(shift)
+        assert shifts == {0, 24, 48, 72}
+
+    def test_subtract_flag_matches_sign(self):
+        """subtract ⇔ ω8^{j·k2} = −2^shift."""
+        for j in range(8):
+            for k2 in range(8):
+                shift, subtract = accumulator_twiddle(j, k2)
+                value = pow(2, 24 * ((j * k2) % 8), P)
+                wired = pow(2, shift, P)
+                if subtract:
+                    assert value == P - wired
+                else:
+                    assert value == wired

@@ -1,0 +1,74 @@
+"""Tests for the O(n²) reference DFT."""
+
+import pytest
+
+from repro.field.roots import root_of_unity
+from repro.field.solinas import P, pow_mod
+from repro.ntt.reference import dft_reference, idft_reference
+
+
+class TestReferenceDFT:
+    def test_length_one(self):
+        assert dft_reference([5]) == [5]
+
+    def test_length_two(self):
+        # ω_2 = -1: F = [a+b, a-b].
+        assert dft_reference([3, 4]) == [7, (3 - 4) % P]
+
+    def test_impulse_is_flat(self):
+        """DFT of a unit impulse is all-ones."""
+        assert dft_reference([1, 0, 0, 0]) == [1, 1, 1, 1]
+
+    def test_constant_concentrates(self):
+        """DFT of a constant is n·c at DC, zero elsewhere."""
+        out = dft_reference([7] * 8)
+        assert out[0] == 56
+        assert all(v == 0 for v in out[1:])
+
+    def test_shift_theorem(self, rng):
+        """f[(n-1) mod n] ↔ F[k]·ω^k."""
+        n = 16
+        x = [rng.randrange(P) for _ in range(n)]
+        shifted = x[-1:] + x[:-1]
+        w = root_of_unity(n)
+        lhs = dft_reference(shifted)
+        rhs = [
+            v * pow_mod(w, k) % P for k, v in enumerate(dft_reference(x))
+        ]
+        assert lhs == rhs
+
+    def test_linearity(self, rng):
+        n = 8
+        x = [rng.randrange(P) for _ in range(n)]
+        y = [rng.randrange(P) for _ in range(n)]
+        s = [(a + b) % P for a, b in zip(x, y)]
+        fx, fy, fs = dft_reference(x), dft_reference(y), dft_reference(s)
+        assert fs == [(a + b) % P for a, b in zip(fx, fy)]
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 32])
+    def test_inverse_roundtrip(self, n, rng):
+        x = [rng.randrange(P) for _ in range(n)]
+        assert idft_reference(dft_reference(x)) == x
+
+    def test_parseval_like_energy(self, rng):
+        """Σ|f|² ≡ n^{-1}·Σ|F|² (mod p) — the NTT Parseval identity."""
+        n = 16
+        x = [rng.randrange(P) for _ in range(n)]
+        spectrum = dft_reference(x)
+        lhs = sum(v * v for v in x) % P
+        rhs = (
+            sum(
+                a * b
+                for a, b in zip(
+                    spectrum, [spectrum[0]] + spectrum[1:][::-1]
+                )
+            )
+            * pow_mod(n, P - 2)
+        ) % P
+        assert lhs == rhs
+
+    def test_custom_omega(self, rng):
+        n = 8
+        w = root_of_unity(n)
+        x = [rng.randrange(P) for _ in range(n)]
+        assert dft_reference(x, omega=w) == dft_reference(x)

@@ -1,0 +1,154 @@
+"""Cross-module property-based tests: algebraic laws that must hold
+across every implementation layer simultaneously."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field.solinas import P, mul_by_pow2
+from repro.field.vector import from_field_array, to_field_array, vmul
+from repro.hw.fft64_unit import FFT64Unit
+from repro.hw.modmul import ModularMultiplier
+from repro.ntt.plan import plan_for_size
+from repro.ntt.radix64 import ntt64_two_stage, ntt_shift_radix
+from repro.ntt.staged import execute_plan, execute_plan_inverse
+from repro.ssa.multiplier import SSAMultiplier
+
+residues = st.integers(min_value=0, max_value=P - 1)
+
+
+class TestTransformLinearity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        data=st.lists(residues, min_size=64, max_size=64),
+        scalar=residues,
+    )
+    def test_staged_plan_is_linear(self, data, scalar):
+        """NTT(s·x) = s·NTT(x) through the vectorized executor."""
+        plan = plan_for_size(64, (8, 8))
+        x = to_field_array(data)
+        s = np.full(64, np.uint64(scalar), dtype=np.uint64)
+        lhs = execute_plan(vmul(x, s), plan)
+        rhs = vmul(execute_plan(x, plan), s)
+        assert np.array_equal(lhs, rhs)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.lists(residues, min_size=64, max_size=64))
+    def test_roundtrip_all_paths(self, data):
+        plan = plan_for_size(64, (8, 8))
+        x = to_field_array(data)
+        assert np.array_equal(
+            execute_plan_inverse(execute_plan(x, plan), plan), x
+        )
+
+
+class TestHardwareSoftwareAgreement:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.lists(residues, min_size=64, max_size=64))
+    def test_three_radix64_implementations_agree(self, data):
+        """Direct chains (Eq. 3), the Eq. 5 dataflow, and the hardware
+        unit model compute identical transforms."""
+        direct = ntt_shift_radix(list(data), 64)
+        two_stage = ntt64_two_stage(list(data))
+        unit = FFT64Unit().transform(list(data))
+        assert direct == two_stage == unit
+
+    @settings(max_examples=40)
+    @given(a=residues, b=residues, c=residues)
+    def test_modmul_associativity(self, a, b, c):
+        m = ModularMultiplier()
+        lhs = m.multiply(m.multiply(a, b), c)
+        rhs = m.multiply(a, m.multiply(b, c))
+        assert lhs == rhs
+
+    @settings(max_examples=40)
+    @given(a=residues, s=st.integers(min_value=0, max_value=191))
+    def test_modmul_matches_shifter(self, a, s):
+        """A multiply by 2^s through the DSP path equals the shift path
+        — the two twiddle mechanisms are interchangeable."""
+        m = ModularMultiplier()
+        assert m.multiply(a, pow(2, s, P)) == mul_by_pow2(a, s)
+
+
+class TestMultiplierRing:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=(1 << 1024) - 1),
+        b=st.integers(min_value=0, max_value=(1 << 1024) - 1),
+        c=st.integers(min_value=0, max_value=(1 << 1024) - 1),
+    )
+    def test_distributivity_through_ssa(self, a, b, c):
+        """a·(b + c) = a·b + a·c with every product through SSA."""
+        mul = SSAMultiplier.for_bits(1026)
+        assert mul.multiply(a, b + c) == mul.multiply(a, b) + mul.multiply(
+            a, c
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(a=st.integers(min_value=0, max_value=(1 << 2000) - 1))
+    def test_square_is_self_multiply(self, a):
+        mul = SSAMultiplier.for_bits(2000)
+        assert mul.square(a) == mul.multiply(a, a)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=(1 << 1500) - 1),
+        k=st.integers(min_value=0, max_value=200),
+    )
+    def test_shift_compatibility(self, a, k):
+        """(a·2^k) through SSA equals (a through SSA)·2^k."""
+        mul = SSAMultiplier.for_bits(1701)
+        assert mul.multiply(a, 1 << k) == a << k
+
+
+class TestConvolutionAlgebra:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        data=st.lists(
+            st.integers(min_value=0, max_value=(1 << 20) - 1),
+            min_size=16,
+            max_size=16,
+        )
+    )
+    def test_cyclic_equals_polynomial_mod(self, data):
+        """Cyclic convolution = polynomial product mod (x^n − 1)."""
+        from repro.ntt.convolution import cyclic_convolution
+
+        n = 16
+        a = data
+        b = list(reversed(data))
+        got = from_field_array(
+            cyclic_convolution(to_field_array(a), to_field_array(b))
+        )
+        poly = [0] * (2 * n)
+        for i in range(n):
+            for j in range(n):
+                poly[i + j] += a[i] * b[j]
+        want = [(poly[k] + poly[k + n]) % P for k in range(n)]
+        assert got == want
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        data=st.lists(
+            st.integers(min_value=0, max_value=(1 << 20) - 1),
+            min_size=16,
+            max_size=16,
+        )
+    )
+    def test_negacyclic_equals_polynomial_mod(self, data):
+        """Negacyclic convolution = polynomial product mod (x^n + 1)."""
+        from repro.ntt.negacyclic import negacyclic_convolution
+
+        n = 16
+        a = data
+        b = list(reversed(data))
+        got = from_field_array(
+            negacyclic_convolution(to_field_array(a), to_field_array(b))
+        )
+        poly = [0] * (2 * n)
+        for i in range(n):
+            for j in range(n):
+                poly[i + j] += a[i] * b[j]
+        want = [(poly[k] - poly[k + n]) % P for k in range(n)]
+        assert got == want

@@ -1,0 +1,118 @@
+"""Tests for the cycle-based simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import Component, Fifo, Simulator
+
+
+class Counter(Component):
+    """Test component: counts its own ticks."""
+
+    def __init__(self, name, parent=None):
+        super().__init__(name, parent)
+        self.ticks = 0
+
+    def tick(self, cycle):
+        self.ticks += 1
+
+
+class Producer(Component):
+    def __init__(self, name, fifo):
+        super().__init__(name)
+        self.fifo = fifo
+
+    def tick(self, cycle):
+        self.fifo.push(cycle)
+
+
+class Consumer(Component):
+    def __init__(self, name, fifo):
+        super().__init__(name)
+        self.fifo = fifo
+        self.received = []
+
+    def tick(self, cycle):
+        if self.fifo.can_pop():
+            self.received.append((cycle, self.fifo.pop()))
+
+
+class TestFifo:
+    def test_push_invisible_until_commit(self):
+        f = Fifo("f")
+        f.push(1)
+        assert not f.can_pop()
+        f.commit()
+        assert f.can_pop()
+        assert f.pop() == 1
+
+    def test_fifo_order(self):
+        f = Fifo("f")
+        for i in range(5):
+            f.push(i)
+        f.commit()
+        assert [f.pop() for _ in range(5)] == list(range(5))
+
+    def test_underflow_raises(self):
+        f = Fifo("f")
+        with pytest.raises(IndexError):
+            f.pop()
+
+    def test_peek(self):
+        f = Fifo("f")
+        f.push("x")
+        f.commit()
+        assert f.peek() == "x"
+        assert len(f) == 1
+
+    def test_capacity_overflow(self):
+        f = Fifo("f", capacity=2)
+        f.push(1)
+        f.push(2)
+        with pytest.raises(OverflowError):
+            f.push(3)
+
+
+class TestComponentHierarchy:
+    def test_path(self):
+        top = Counter("top")
+        mid = Counter("mid", parent=top)
+        leaf = Counter("leaf", parent=mid)
+        assert leaf.path == "top.mid.leaf"
+
+    def test_iter_tree(self):
+        top = Counter("top")
+        Counter("a", parent=top)
+        b = Counter("b", parent=top)
+        Counter("c", parent=b)
+        names = [c.name for c in top.iter_tree()]
+        assert names == ["top", "a", "b", "c"]
+
+
+class TestSimulator:
+    def test_ticks_once_per_cycle(self):
+        sim = Simulator()
+        c = sim.add(Counter("c"))
+        sim.step(10)
+        assert c.ticks == 10
+        assert sim.cycle == 10
+
+    def test_registered_communication_delay(self):
+        """Data pushed in cycle t is visible in cycle t+1."""
+        sim = Simulator()
+        fifo = sim.add_fifo(Fifo("link"))
+        sim.add(Producer("p", fifo))
+        consumer = sim.add(Consumer("c", fifo))
+        sim.step(3)
+        # Values produced at cycles 0,1 are consumed at cycles 1,2.
+        assert consumer.received == [(1, 0), (2, 1)]
+
+    def test_run_until(self):
+        sim = Simulator()
+        c = sim.add(Counter("c"))
+        elapsed = sim.run_until(lambda: c.ticks >= 7)
+        assert elapsed == 7
+
+    def test_run_until_timeout(self):
+        sim = Simulator()
+        with pytest.raises(TimeoutError):
+            sim.run_until(lambda: False, max_cycles=5)

@@ -1,0 +1,61 @@
+"""Tests for trace recording and timelines."""
+
+import pytest
+
+from repro.sim.trace import Timeline, TraceEvent
+
+
+class TestTimeline:
+    def test_events(self):
+        t = Timeline()
+        t.emit(5, "pe0", "read", "beat 3")
+        assert t.events == [TraceEvent(5, "pe0", "read", "beat 3")]
+
+    def test_interval_duration(self):
+        t = Timeline()
+        t.begin(10, "pe0", "compute")
+        interval = t.end(18, "pe0", "compute")
+        assert interval.duration == 8
+
+    def test_open_interval_duration_raises(self):
+        t = Timeline()
+        t.begin(0, "pe0", "x")
+        with pytest.raises(ValueError):
+            _ = t._open[("pe0", "x")].duration
+
+    def test_double_begin_raises(self):
+        t = Timeline()
+        t.begin(0, "pe0", "x")
+        with pytest.raises(ValueError):
+            t.begin(1, "pe0", "x")
+
+    def test_intervals_for_source(self):
+        t = Timeline()
+        t.begin(0, "pe0", "a")
+        t.end(4, "pe0", "a")
+        t.begin(0, "pe1", "a")
+        t.end(6, "pe1", "a")
+        assert len(t.intervals_for("pe0")) == 1
+        assert t.intervals_for("pe1")[0].duration == 6
+
+    def test_total_span(self):
+        t = Timeline()
+        t.begin(2, "pe0", "a")
+        t.end(5, "pe0", "a")
+        t.begin(4, "pe1", "b")
+        t.end(9, "pe1", "b")
+        assert t.total_span() == 7
+
+    def test_render_contains_sources_and_labels(self):
+        t = Timeline()
+        t.begin(0, "pe0", "compute0")
+        t.end(8, "pe0", "compute0")
+        t.begin(8, "pe0", "exchange0")
+        t.end(12, "pe0", "exchange0")
+        text = t.render()
+        assert "pe0" in text
+        assert "compute0" in text
+        assert "exchange0" in text
+
+    def test_empty_span(self):
+        assert Timeline().total_span() == 0

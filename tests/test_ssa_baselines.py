@@ -1,0 +1,89 @@
+"""Tests for the classical multiplication baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssa.baselines import (
+    OperationCount,
+    karatsuba_multiply,
+    schoolbook_multiply,
+    toom3_multiply,
+)
+
+operands = st.integers(min_value=0, max_value=(1 << 4096) - 1)
+
+
+@pytest.mark.parametrize(
+    "func", [schoolbook_multiply, karatsuba_multiply, toom3_multiply]
+)
+class TestAllBaselines:
+    def test_zero(self, func):
+        assert func(0, 12345) == 0
+        assert func(0, 0) == 0
+
+    def test_one(self, func):
+        assert func(1, 98765) == 98765
+
+    def test_known(self, func):
+        assert func(12345678901234567890, 98765432109876543210) == (
+            12345678901234567890 * 98765432109876543210
+        )
+
+    def test_rejects_negative(self, func):
+        with pytest.raises(ValueError):
+            func(-1, 5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=operands, b=operands)
+    def test_random(self, func, a, b):
+        assert func(a, b) == a * b
+
+
+class TestRecursionBoundaries:
+    def test_karatsuba_around_cutoff(self, rng):
+        for bits in (500, 512, 513, 520, 1025):
+            a, b = rng.getrandbits(bits), rng.getrandbits(bits)
+            assert karatsuba_multiply(a, b) == a * b
+
+    def test_toom3_around_cutoff(self, rng):
+        for bits in (2000, 2048, 2049, 3000, 6145):
+            a, b = rng.getrandbits(bits), rng.getrandbits(bits)
+            assert toom3_multiply(a, b) == a * b
+
+    def test_toom3_unbalanced(self, rng):
+        a = rng.getrandbits(9000)
+        b = rng.getrandbits(3001)
+        assert toom3_multiply(a, b) == a * b
+
+    def test_toom3_negative_interpolant_path(self):
+        """Operands maximizing a0 - a1 + a2 sign flips."""
+        third = 1024
+        a = ((1 << third) - 1) << (2 * third)  # a1 = 0 branch
+        b = ((1 << third) - 1) * (1 + (1 << (2 * third)))
+        a_val = a | 1
+        assert toom3_multiply(a_val, b) == a_val * b
+
+
+class TestOperationCounting:
+    def test_schoolbook_quadratic(self):
+        counter_small = OperationCount()
+        counter_big = OperationCount()
+        a = (1 << 2400) - 1
+        schoolbook_multiply(a, a, counter=counter_small)
+        b = (1 << 4800) - 1
+        schoolbook_multiply(b, b, counter=counter_big)
+        ratio = (
+            counter_big.limb_multiplications
+            / counter_small.limb_multiplications
+        )
+        assert 3.5 < ratio < 4.5  # doubling size quadruples work
+
+    def test_karatsuba_subquadratic(self):
+        c1, c2 = OperationCount(), OperationCount()
+        a = (1 << 8192) - 1
+        karatsuba_multiply(a, a, counter=c1)
+        b = (1 << 16384) - 1
+        karatsuba_multiply(b, b, counter=c2)
+        ratio = c2.limb_multiplications / c1.limb_multiplications
+        assert 2.5 < ratio < 3.5  # doubling size triples work

@@ -1,0 +1,69 @@
+"""Tests for carry recovery (repro.ssa.carry)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssa.carry import carry_recover, carry_recover_blocked
+from repro.ssa.encode import recompose
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=(1 << 63) - 1), min_size=1, max_size=40
+)
+
+
+class TestCarryRecover:
+    def test_no_carries(self):
+        assert carry_recover([1, 2, 3], 24) == [1, 2, 3]
+
+    def test_single_carry(self):
+        assert carry_recover([1 << 24, 0], 24) == [0, 1]
+
+    def test_carry_chain_ripples(self):
+        m = 24
+        top = (1 << m) - 1
+        digits = carry_recover([top + 1, top, top], m)
+        assert digits == [0, 0, 0, 1]
+
+    def test_carry_out_extends(self):
+        digits = carry_recover([1 << 60], 24)
+        assert recompose(digits, 24) == 1 << 60
+        assert len(digits) > 1
+
+    def test_digits_in_range(self):
+        digits = carry_recover([(1 << 63) - 1] * 10, 24)
+        assert all(0 <= d < (1 << 24) for d in digits)
+
+    @settings(max_examples=60)
+    @given(coeffs=coeff_lists)
+    def test_value_preserved(self, coeffs):
+        """Normalization never changes the represented integer."""
+        value = sum(c << (24 * i) for i, c in enumerate(coeffs))
+        digits = carry_recover(coeffs, 24)
+        assert recompose(digits, 24) == value
+
+    def test_empty(self):
+        assert carry_recover([], 24) == []
+
+
+class TestBlockedVariant:
+    @settings(max_examples=40)
+    @given(coeffs=coeff_lists, block=st.sampled_from([1, 4, 8, 64]))
+    def test_matches_plain(self, coeffs, block):
+        """The hardware-style blocked adder is value-identical."""
+        plain = carry_recover(coeffs, 24)
+        blocked = carry_recover_blocked(coeffs, 24, block_size=block)
+        # Allow differing trailing-zero padding only.
+        while len(blocked) > len(plain):
+            assert blocked.pop() == 0
+        while len(plain) > len(blocked):
+            assert plain.pop() == 0
+        assert plain == blocked
+
+    def test_block_boundary_carry(self):
+        """A carry produced at a block edge crosses into the next."""
+        m = 24
+        coeffs = [(1 << m) - 1] * 8 + [1]
+        blocked = carry_recover_blocked(coeffs, m, block_size=8)
+        value = sum(c << (m * i) for i, c in enumerate(coeffs))
+        assert recompose(blocked, m) == value

@@ -1,0 +1,113 @@
+"""Tests for SSA operand encoding (repro.ssa.encode)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field.solinas import P
+from repro.ssa.encode import (
+    PAPER_PARAMETERS,
+    SSAParameters,
+    decompose,
+    recompose,
+)
+
+
+class TestParameters:
+    def test_paper_operating_point(self):
+        """Section III: 786,432-bit operands, 32K × 24-bit, 64K points."""
+        assert PAPER_PARAMETERS.coefficient_bits == 24
+        assert PAPER_PARAMETERS.operand_coefficients == 32768
+        assert PAPER_PARAMETERS.operand_bits == 786_432
+        assert PAPER_PARAMETERS.transform_size == 65_536
+
+    def test_paper_no_overflow(self):
+        """Convolution terms stay below p — SSA exactness condition."""
+        PAPER_PARAMETERS.validate()
+        assert PAPER_PARAMETERS.max_convolution_term < P
+
+    def test_overflowing_parameters_rejected(self):
+        bad = SSAParameters(coefficient_bits=32, operand_coefficients=32768)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_non_power_of_two_rejected(self):
+        bad = SSAParameters(coefficient_bits=24, operand_coefficients=100)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+SMALL = SSAParameters(coefficient_bits=24, operand_coefficients=64)
+
+
+class TestDecompose:
+    def test_zero(self):
+        coeffs = decompose(0, SMALL)
+        assert coeffs.shape == (128,)
+        assert not coeffs.any()
+
+    def test_small_value(self):
+        coeffs = decompose(5, SMALL)
+        assert int(coeffs[0]) == 5
+        assert not coeffs[1:].any()
+
+    def test_coefficient_extraction(self):
+        value = (7 << 48) | (3 << 24) | 1
+        coeffs = decompose(value, SMALL)
+        assert [int(c) for c in coeffs[:4]] == [1, 3, 7, 0]
+
+    def test_top_half_zero_padding(self, rng):
+        value = rng.getrandbits(SMALL.operand_bits)
+        coeffs = decompose(value, SMALL)
+        assert not coeffs[SMALL.operand_coefficients :].any()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            decompose(-1, SMALL)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            decompose(1 << SMALL.operand_bits, SMALL)
+
+    def test_max_value_accepted(self):
+        value = (1 << SMALL.operand_bits) - 1
+        coeffs = decompose(value, SMALL)
+        assert all(
+            int(c) == (1 << 24) - 1
+            for c in coeffs[: SMALL.operand_coefficients]
+        )
+
+    def test_non_byte_aligned_width(self):
+        params = SSAParameters(coefficient_bits=10, operand_coefficients=8)
+        value = 0b1111111111_0000000001  # two 10-bit digits
+        coeffs = decompose(value, params)
+        assert int(coeffs[0]) == 1
+        assert int(coeffs[1]) == 1023
+
+
+class TestRecompose:
+    @settings(max_examples=50)
+    @given(value=st.integers(min_value=0, max_value=(1 << 1536) - 1))
+    def test_roundtrip(self, value):
+        coeffs = decompose(value, SMALL)
+        assert recompose(coeffs, SMALL.coefficient_bits) == value
+
+    def test_wide_coefficients(self):
+        """Pre-carry convolution outputs recompose correctly too."""
+        coeffs = [1 << 40, 1 << 40]
+        want = (1 << 40) + (1 << 64)
+        assert recompose(coeffs, 24) == want
+
+    def test_rejects_negative_coefficient(self):
+        with pytest.raises(ValueError):
+            recompose([1, -2], 24)
+
+    def test_empty(self):
+        assert recompose([], 24) == 0
+
+    def test_byte_fast_path_equals_generic(self, rng):
+        coeffs = [rng.randrange(1 << 24) for _ in range(50)]
+        fast = recompose(coeffs, 24)
+        slow = sum(c << (24 * i) for i, c in enumerate(coeffs))
+        assert fast == slow

@@ -1,0 +1,85 @@
+"""Tests for the SSA multiplier (repro.ssa.multiplier)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssa.encode import SSAParameters
+from repro.ssa.multiplier import SSAMultiplier, ssa_multiply
+
+
+class TestForBits:
+    def test_sizes_power_of_two(self):
+        mul = SSAMultiplier.for_bits(4096)
+        assert mul.params.operand_coefficients == 256
+        assert mul.params.transform_size == 512
+
+    def test_capacity_is_sufficient(self):
+        for bits in (1, 24, 25, 1000, 4096, 100_000):
+            mul = SSAMultiplier.for_bits(bits)
+            assert mul.params.operand_bits >= bits
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (0, 0),
+            (0, 123456789),
+            (1, 1),
+            (2**24 - 1, 2**24 - 1),
+            (2**24, 2**24),
+            (2**1000 - 1, 2**1000 - 1),
+            (3, 2**2000 + 1),
+        ],
+    )
+    def test_known_products(self, a, b):
+        assert ssa_multiply(a, b) == a * b
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=(1 << 3000) - 1),
+        b=st.integers(min_value=0, max_value=(1 << 3000) - 1),
+    )
+    def test_random_products(self, a, b):
+        assert ssa_multiply(a, b) == a * b
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(min_value=0, max_value=(1 << 2048) - 1))
+    def test_square(self, a):
+        mul = SSAMultiplier.for_bits(2048)
+        assert mul.square(a) == a * a
+
+    def test_reusable_context(self, rng):
+        """One multiplier instance handles many products (plan reuse)."""
+        mul = SSAMultiplier.for_bits(2048)
+        for _ in range(5):
+            a, b = rng.getrandbits(2048), rng.getrandbits(2048)
+            assert mul.multiply(a, b) == a * b
+
+    def test_commutative(self, rng):
+        mul = SSAMultiplier.for_bits(1024)
+        a, b = rng.getrandbits(1024), rng.getrandbits(1024)
+        assert mul.multiply(a, b) == mul.multiply(b, a)
+
+    def test_explicit_radices(self, rng):
+        params = SSAParameters(coefficient_bits=24, operand_coefficients=512)
+        for radices in [(64, 16), (16, 64), (32, 32), (4, 16, 16)]:
+            mul = SSAMultiplier(params=params, radices=radices)
+            a, b = rng.getrandbits(12000), rng.getrandbits(12000)
+            assert mul.multiply(a, b) == a * b
+
+
+class TestPaperScale:
+    def test_full_786432_bit_multiply(self, rng):
+        """The headline workload: two 786,432-bit operands through the
+        64K-point radix-64/64/16 pipeline."""
+        mul = SSAMultiplier()
+        a = rng.getrandbits(786_432)
+        b = rng.getrandbits(786_432)
+        assert mul.multiply(a, b) == a * b
+
+    def test_plan_is_paper_plan(self):
+        mul = SSAMultiplier()
+        assert mul.plan.radices == (64, 64, 16)
+        assert mul.plan.n == 65536
