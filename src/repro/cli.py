@@ -5,11 +5,14 @@ Commands:
 - ``table1`` — regenerate the Table I resource census;
 - ``table2`` — regenerate the Table II timing comparison;
 - ``fft`` — simulate a distributed NTT and print the stage schedule;
-- ``multiply`` — run one accelerated SSA multiplication (random
-  operands of a chosen width) and print the phase timing;
+- ``multiply`` — run accelerated SSA multiplication (random operands
+  of a chosen width); ``--count N`` runs an N-product batch through
+  the batched execution engine and reports ops/sec;
 - ``scaling`` — PE scaling sweep;
 - ``deployments`` — compare the Stratix V and Cyclone V realizations;
-- ``batch`` — batch-pipelined throughput schedule.
+- ``batch`` — batch-pipelined throughput schedule (hardware model);
+- ``throughput`` — measure looped vs batched software multiplication
+  and cross-check against the hardware macro-pipeline model.
 """
 
 from __future__ import annotations
@@ -51,12 +54,41 @@ def _cmd_multiply(args: argparse.Namespace) -> None:
     from repro.ssa.encode import SSAParameters
 
     rng = random.Random(args.seed)
+    if args.count < 1:
+        raise SystemExit("error: --count must be >= 1")
+    if args.count > 1:
+        import time
+
+        if args.pes is not None:
+            print(
+                "note: --pes applies to the hardware model only and is "
+                "ignored for --count > 1"
+            )
+        multiplier = SSAMultiplier.for_bits(args.bits)
+        pairs = [
+            (rng.getrandbits(args.bits), rng.getrandbits(args.bits))
+            for _ in range(args.count)
+        ]
+        start = time.perf_counter()
+        products = multiplier.multiply_many(pairs)
+        elapsed = time.perf_counter() - start
+        ok = products == [a * b for a, b in pairs]
+        status = "OK" if ok else "MISMATCH"
+        print(
+            f"batch of {args.count} {args.bits}-bit products: {status} "
+            f"in {elapsed * 1e3:.1f} ms "
+            f"({args.count / elapsed:.1f} ops/s)"
+        )
+        if not ok:
+            raise SystemExit(1)
+        return
+    pes = args.pes if args.pes is not None else 4
     if args.bits == 786_432:
-        accelerator = HEAccelerator(pes=args.pes)
+        accelerator = HEAccelerator(pes=pes)
     else:
         sizing = SSAMultiplier.for_bits(args.bits)
         accelerator = HEAccelerator(
-            pes=args.pes,
+            pes=pes,
             plan=plan_for_size(sizing.params.transform_size),
             params=sizing.params,
         )
@@ -100,6 +132,17 @@ def _cmd_batch(args: argparse.Namespace) -> None:
     print(schedule_batch(args.count).render())
 
 
+def _cmd_throughput(args: argparse.Namespace) -> None:
+    from repro.hw.batch import measure_software_batch, schedule_batch
+
+    comparison = measure_software_batch(
+        bits=args.bits, count=args.count, seed=args.seed
+    )
+    print(comparison.render())
+    print()
+    print(schedule_batch(args.count).render())
+
+
 def _cmd_verify(args: argparse.Namespace) -> None:
     from repro.verify import run_self_check
 
@@ -127,10 +170,21 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--seed", type=int, default=0)
     pf.set_defaults(func=_cmd_fft)
 
-    pm = sub.add_parser("multiply", help="one accelerated multiplication")
+    pm = sub.add_parser("multiply", help="accelerated multiplication(s)")
     pm.add_argument("--bits", type=int, default=786_432)
-    pm.add_argument("--pes", type=int, default=4)
+    pm.add_argument(
+        "--pes",
+        type=int,
+        default=None,
+        help="PE count for the hardware model (single-product path)",
+    )
     pm.add_argument("--seed", type=int, default=0)
+    pm.add_argument(
+        "--count",
+        type=int,
+        default=1,
+        help="batch size; >1 uses the batched execution engine",
+    )
     pm.set_defaults(func=_cmd_multiply)
 
     ps = sub.add_parser("scaling", help="PE scaling sweep")
@@ -142,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
     pb = sub.add_parser("batch", help="batch-pipelined throughput")
     pb.add_argument("--count", type=int, default=16)
     pb.set_defaults(func=_cmd_batch)
+
+    pt = sub.add_parser(
+        "throughput", help="measured software batch throughput vs model"
+    )
+    pt.add_argument("--bits", type=int, default=4096)
+    pt.add_argument("--count", type=int, default=32)
+    pt.add_argument("--seed", type=int, default=0)
+    pt.set_defaults(func=_cmd_throughput)
 
     pv = sub.add_parser("verify", help="run the end-to-end self-check")
     pv.set_defaults(func=_cmd_verify)

@@ -18,7 +18,13 @@ below the security requirement, as documented in
 
 from repro.fhe.params import FHEParams, TOY, MEDIUM, SMALL_DGHV
 from repro.fhe.dghv import DGHV, KeyPair, Ciphertext
-from repro.fhe.ops import he_add, he_mult, he_xor_and_eval, NoiseBudgetError
+from repro.fhe.ops import (
+    he_add,
+    he_mult,
+    he_mult_many,
+    he_xor_and_eval,
+    NoiseBudgetError,
+)
 from repro.fhe.rlwe import RLWE, RLWEParams, RLWECiphertext
 
 __all__ = [
@@ -31,6 +37,7 @@ __all__ = [
     "Ciphertext",
     "he_add",
     "he_mult",
+    "he_mult_many",
     "he_xor_and_eval",
     "NoiseBudgetError",
     "RLWE",

@@ -14,7 +14,7 @@ corrupting results.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.fhe.dghv import DGHV, Ciphertext, KeyPair
 
@@ -71,6 +71,78 @@ def he_mult(
     )
 
 
+def _defining_class(cls: type, name: str):
+    for klass in cls.__mro__:
+        if name in klass.__dict__:
+            return klass
+    return None
+
+
+def _product_batch(
+    multiplier, operand_pairs: Sequence[Tuple[int, int]]
+) -> List[int]:
+    """Batched big-int products through a multiplier strategy.
+
+    Uses the strategy's ``multiply_many`` when one is reachable: on
+    the callable itself, or on the object a bound ``multiply`` method
+    belongs to (the ``SSAMultiplier`` case) — but only when
+    ``multiply`` and ``multiply_many`` are defined by the same class,
+    so a subclass that overrides one without the other (instrumented
+    or clamped ``multiply``, say) is never silently bypassed.
+    Otherwise falls back to a per-pair loop.
+    """
+    many = getattr(multiplier, "multiply_many", None)
+    if many is None:
+        owner = getattr(multiplier, "__self__", None)
+        if (
+            owner is not None
+            and getattr(multiplier, "__func__", None)
+            is getattr(type(owner), "multiply", None)
+        ):
+            cls = _defining_class(type(owner), "multiply")
+            if cls is not None and cls is _defining_class(
+                type(owner), "multiply_many"
+            ):
+                many = owner.multiply_many
+    if many is not None:
+        return [int(v) for v in many(operand_pairs)]
+    return [multiplier(a, b) for a, b in operand_pairs]
+
+
+def he_mult_many(
+    scheme: DGHV,
+    pairs: Sequence[Tuple[Ciphertext, Ciphertext]],
+    x0: Optional[int] = None,
+) -> List[Ciphertext]:
+    """Batched homomorphic AND: one result per ciphertext pair.
+
+    Same semantics and noise bookkeeping as looping :func:`he_mult`,
+    but the gamma × gamma-bit ciphertext products are computed in one
+    batched SSA pass whenever the scheme's multiplier strategy supports
+    it — the realistic FHE-server shape of the accelerator workload
+    (thousands of independent gate products per batch).
+    """
+    pairs = list(pairs)
+    for a, b in pairs:
+        if a.params != b.params:
+            raise ValueError("ciphertexts from different parameter sets")
+    values = _product_batch(
+        scheme.multiplier, [(a.value, b.value) for a, b in pairs]
+    )
+    out: List[Ciphertext] = []
+    for (a, b), value in zip(pairs, values):
+        if x0 is not None:
+            value %= x0
+        noise = a.noise_bits + b.noise_bits + 1
+        out.append(
+            _check_budget(
+                Ciphertext(value=value, noise_bits=noise, params=a.params),
+                "he_mult",
+            )
+        )
+    return out
+
+
 def he_xor_and_eval(
     scheme: DGHV,
     keys: KeyPair,
@@ -82,14 +154,19 @@ def he_xor_and_eval(
     Encrypts both bit vectors, evaluates one XOR and one AND per
     position homomorphically, decrypts, and returns the interleaved
     plaintext results — a one-call end-to-end exercise used by tests
-    and the quickstart example.
+    and the quickstart example.  The AND gates (the accelerator
+    workload) are evaluated as one :func:`he_mult_many` batch.
     """
-    out: List[int] = []
+    encrypted = []
+    xors: List[Ciphertext] = []
     for bit_a, bit_b in zip(bits_a, bits_b):
         ca = scheme.encrypt(keys, bit_a)
         cb = scheme.encrypt(keys, bit_b)
-        c_xor = he_add(ca, cb, x0=keys.x0)
-        c_and = he_mult(scheme, ca, cb, x0=keys.x0)
+        encrypted.append((ca, cb))
+        xors.append(he_add(ca, cb, x0=keys.x0))
+    ands = he_mult_many(scheme, encrypted, x0=keys.x0)
+    out: List[int] = []
+    for c_xor, c_and in zip(xors, ands):
         out.append(scheme.decrypt(keys, c_xor))
         out.append(scheme.decrypt(keys, c_and))
     return out

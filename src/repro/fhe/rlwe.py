@@ -18,13 +18,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.field.solinas import P
-from repro.field.vector import vadd, vsub, to_field_array
-from repro.ntt.negacyclic import negacyclic_convolution
+from repro.field.vector import vadd, vmul, vsub, to_field_array
+from repro.ntt.negacyclic import (
+    negacyclic_convolution,
+    negacyclic_convolution_broadcast,
+    negacyclic_inverse_many,
+    negacyclic_transform_many,
+)
 
 
 @dataclass(frozen=True)
@@ -117,6 +122,67 @@ class RLWE:
             out.append(m % params.t)
         return out
 
+    # -- batched encryption -------------------------------------------------
+
+    def encrypt_many(
+        self, secret: np.ndarray, messages: Sequence[Sequence[int]]
+    ) -> List[RLWECiphertext]:
+        """Encrypt a batch of message polynomials in one NTT pass.
+
+        Semantically a loop of :meth:`encrypt` (fresh randomness per
+        ciphertext), but all ``a·s`` ring products run through a single
+        batched negacyclic convolution against one shared secret
+        spectrum.
+        """
+        params = self.params
+        messages = [list(message) for message in messages]
+        for message in messages:
+            if len(message) != params.n:
+                raise ValueError(
+                    f"message must have {params.n} coefficients"
+                )
+            if any(not 0 <= m < params.t for m in message):
+                raise ValueError("message coefficients must lie in [0, t)")
+        if not messages:
+            return []
+        batch = len(messages)
+        a = np.vstack([self._uniform() for _ in range(batch)])
+        noise = np.vstack([self._noise() for _ in range(batch)])
+        scaled = np.vstack(
+            [
+                to_field_array([params.delta * m for m in message])
+                for message in messages
+            ]
+        )
+        a_s = negacyclic_convolution_broadcast(a, secret)
+        c0 = vadd(vsub(scaled, a_s), noise)
+        return [
+            RLWECiphertext(c0=c0[i], c1=a[i], params=params)
+            for i in range(batch)
+        ]
+
+    def decrypt_many(
+        self, secret: np.ndarray, cts: Sequence[RLWECiphertext]
+    ) -> List[List[int]]:
+        """Decrypt a batch of ciphertexts in one NTT pass."""
+        params = self.params
+        cts = list(cts)
+        for ct in cts:
+            if ct.params != params:
+                raise ValueError("parameter mismatch")
+        if not cts:
+            return []
+        c0 = np.vstack([ct.c0 for ct in cts])
+        c1 = np.vstack([ct.c1 for ct in cts])
+        phase = vadd(c0, negacyclic_convolution_broadcast(c1, secret))
+        return [
+            [
+                (int(coeff) * params.t + P // 2) // P % params.t
+                for coeff in row
+            ]
+            for row in phase
+        ]
+
     # -- homomorphic operations ---------------------------------------------
 
     def add(self, x: RLWECiphertext, y: RLWECiphertext) -> RLWECiphertext:
@@ -143,3 +209,42 @@ class RLWE:
             c1=negacyclic_convolution(ct.c1, poly),
             params=ct.params,
         )
+
+    def multiply_plain_many(
+        self,
+        cts: Sequence[RLWECiphertext],
+        plains: Sequence[Sequence[int]],
+    ) -> List[RLWECiphertext]:
+        """Batched plaintext-by-ciphertext products, one per pair.
+
+        Every ``c0``, ``c1`` and plaintext polynomial is forward-
+        transformed exactly once (``3·B`` transforms, each plaintext
+        spectrum reused against both ciphertext halves); bit-identical
+        to looping :meth:`multiply_plain`.
+        """
+        cts = list(cts)
+        plains = [list(plain) for plain in plains]
+        if len(cts) != len(plains):
+            raise ValueError("one plaintext polynomial per ciphertext")
+        for ct, plain in zip(cts, plains):
+            if len(plain) != ct.params.n:
+                raise ValueError("plaintext length mismatch")
+        if not cts:
+            return []
+        batch = len(cts)
+        polys = np.vstack([to_field_array(plain) for plain in plains])
+        stacked = np.vstack(
+            [np.vstack([ct.c0 for ct in cts]), np.vstack([ct.c1 for ct in cts])]
+        )
+        spectra = negacyclic_transform_many(np.vstack([stacked, polys]))
+        ct_spectra = spectra[: 2 * batch]
+        plain_spectra = spectra[2 * batch :]
+        products = negacyclic_inverse_many(
+            vmul(ct_spectra, np.vstack([plain_spectra, plain_spectra]))
+        )
+        return [
+            RLWECiphertext(
+                c0=products[i], c1=products[batch + i], params=cts[i].params
+            )
+            for i in range(batch)
+        ]

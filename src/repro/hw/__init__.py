@@ -33,7 +33,12 @@ from repro.hw.deployment import (
     STRATIX_ON_CHIP,
     CYCLONE_MULTI_BOARD,
 )
-from repro.hw.batch import schedule_batch, BatchSchedule
+from repro.hw.batch import (
+    schedule_batch,
+    measure_software_batch,
+    BatchSchedule,
+    ThroughputComparison,
+)
 from repro.hw.power import estimate_power, energy_comparison
 from repro.hw.controller import AcceleratorController, multiply_program
 
@@ -63,6 +68,8 @@ __all__ = [
     "STRATIX_ON_CHIP",
     "CYCLONE_MULTI_BOARD",
     "schedule_batch",
+    "measure_software_batch",
+    "ThroughputComparison",
     "BatchSchedule",
     "estimate_power",
     "energy_comparison",

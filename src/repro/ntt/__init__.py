@@ -25,10 +25,32 @@ from repro.ntt.radix64 import (
     ntt64_two_stage,
     SHIFT_RADICES,
 )
-from repro.ntt.plan import TransformPlan, paper_64k_plan, plan_for_size
-from repro.ntt.staged import execute_plan, execute_plan_inverse
-from repro.ntt.convolution import cyclic_convolution, pointwise_mul
-from repro.ntt.negacyclic import negacyclic_convolution
+from repro.ntt.plan import (
+    TransformPlan,
+    PlanCacheStats,
+    clear_plan_cache,
+    paper_64k_plan,
+    plan_cache_stats,
+    plan_for_size,
+)
+from repro.ntt.staged import (
+    execute_plan,
+    execute_plan_batch,
+    execute_plan_inverse,
+    execute_plan_inverse_batch,
+)
+from repro.ntt.convolution import (
+    cyclic_convolution,
+    cyclic_convolution_many,
+    pointwise_mul,
+)
+from repro.ntt.negacyclic import (
+    negacyclic_convolution,
+    negacyclic_convolution_broadcast,
+    negacyclic_convolution_many,
+    negacyclic_inverse_many,
+    negacyclic_transform_many,
+)
 
 __all__ = [
     "dft_reference",
@@ -43,11 +65,21 @@ __all__ = [
     "ntt64_two_stage",
     "SHIFT_RADICES",
     "TransformPlan",
+    "PlanCacheStats",
+    "clear_plan_cache",
     "paper_64k_plan",
+    "plan_cache_stats",
     "plan_for_size",
     "execute_plan",
+    "execute_plan_batch",
     "execute_plan_inverse",
+    "execute_plan_inverse_batch",
     "cyclic_convolution",
+    "cyclic_convolution_many",
     "pointwise_mul",
     "negacyclic_convolution",
+    "negacyclic_convolution_broadcast",
+    "negacyclic_convolution_many",
+    "negacyclic_inverse_many",
+    "negacyclic_transform_many",
 ]

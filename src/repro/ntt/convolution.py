@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.field.vector import vmul
 from repro.ntt.plan import TransformPlan, plan_for_size
-from repro.ntt.staged import execute_plan, execute_plan_inverse
+from repro.ntt.staged import execute_plan_batch, execute_plan_inverse_batch
 
 
 def pointwise_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -39,9 +39,35 @@ def cyclic_convolution(
     """
     if a.shape != b.shape or a.ndim != 1:
         raise ValueError("inputs must be equal-length flat arrays")
+    result = cyclic_convolution_many(
+        np.asarray(a, dtype=np.uint64).reshape(1, -1),
+        np.asarray(b, dtype=np.uint64).reshape(1, -1),
+        plan,
+    )
+    return result[0]
+
+
+def cyclic_convolution_many(
+    a: np.ndarray,
+    b: np.ndarray,
+    plan: Optional[TransformPlan] = None,
+) -> np.ndarray:
+    """Row-wise cyclic convolutions of two ``(batch, n)`` matrices.
+
+    All ``2·batch`` operand rows go through one batched forward NTT, a
+    batched pointwise product and one batched inverse — identical per
+    row to :func:`cyclic_convolution`, but with the per-stage Python
+    overhead amortized across the whole batch.
+    """
+    a = np.ascontiguousarray(a, dtype=np.uint64)
+    b = np.ascontiguousarray(b, dtype=np.uint64)
+    if a.ndim != 2 or a.shape != b.shape:
+        raise ValueError("inputs must be equal-shape (batch, n) matrices")
+    batch, n = a.shape
     if plan is None:
-        plan = plan_for_size(len(a))
-    if plan.n != len(a):
+        plan = plan_for_size(n)
+    if plan.n != n:
         raise ValueError("plan size does not match input length")
-    spectrum = pointwise_mul(execute_plan(a, plan), execute_plan(b, plan))
-    return execute_plan_inverse(spectrum, plan)
+    spectra = execute_plan_batch(np.concatenate([a, b], axis=0), plan)
+    spectrum = pointwise_mul(spectra[:batch], spectra[batch:])
+    return execute_plan_inverse_batch(spectrum, plan)

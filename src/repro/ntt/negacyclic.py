@@ -22,7 +22,7 @@ from repro.field.roots import root_of_unity
 from repro.field.solinas import P, inverse, pow_mod
 from repro.field.vector import vmul
 from repro.ntt.plan import TransformPlan, plan_for_size
-from repro.ntt.staged import execute_plan, execute_plan_inverse
+from repro.ntt.staged import execute_plan_batch, execute_plan_inverse_batch
 
 
 @lru_cache(maxsize=None)
@@ -55,15 +55,106 @@ def negacyclic_convolution(
     """
     if a.shape != b.shape or a.ndim != 1:
         raise ValueError("inputs must be equal-length flat arrays")
-    n = len(a)
-    if n & (n - 1):
+    result = negacyclic_convolution_many(
+        np.asarray(a, dtype=np.uint64).reshape(1, -1),
+        np.asarray(b, dtype=np.uint64).reshape(1, -1),
+        plan,
+    )
+    return result[0]
+
+
+def negacyclic_convolution_many(
+    a: np.ndarray,
+    b: np.ndarray,
+    plan: Optional[TransformPlan] = None,
+) -> np.ndarray:
+    """Row-wise negacyclic products of two ``(batch, n)`` matrices.
+
+    All ``2·batch`` twisted rows go through one batched forward NTT,
+    then a batched pointwise product, one batched inverse and the
+    untwist — identical per row to :func:`negacyclic_convolution`.
+    This is the ring-product engine behind the batched RLWE APIs.
+    """
+    a = np.ascontiguousarray(a, dtype=np.uint64)
+    b = np.ascontiguousarray(b, dtype=np.uint64)
+    if a.ndim != 2 or a.shape != b.shape:
+        raise ValueError("inputs must be equal-shape (batch, n) matrices")
+    batch, n = a.shape
+    if n == 0 or n & (n - 1):
         raise ValueError("length must be a power of two")
     if plan is None:
         plan = plan_for_size(n)
     if plan.n != n:
         raise ValueError("plan size does not match input length")
-    forward, backward = _twist_tables(n)
-    ta = execute_plan(vmul(np.asarray(a, dtype=np.uint64), forward), plan)
-    tb = execute_plan(vmul(np.asarray(b, dtype=np.uint64), forward), plan)
-    product = execute_plan_inverse(vmul(ta, tb), plan)
-    return vmul(product, backward)
+    spectra = negacyclic_transform_many(np.concatenate([a, b], axis=0), plan)
+    return negacyclic_inverse_many(
+        vmul(spectra[:batch], spectra[batch:]), plan
+    )
+
+
+def negacyclic_convolution_broadcast(
+    a: np.ndarray,
+    b: np.ndarray,
+    plan: Optional[TransformPlan] = None,
+) -> np.ndarray:
+    """Negacyclic product of every row of ``(batch, n)`` ``a`` with one
+    fixed polynomial ``b``.
+
+    The fixed operand is transformed once and its spectrum broadcast
+    across the batch — ``batch + 1`` forward transforms instead of the
+    ``2·batch`` a tiled :func:`negacyclic_convolution_many` would pay.
+    This is the shape of RLWE key operations, where one secret meets
+    many ciphertext polynomials.
+    """
+    a = np.ascontiguousarray(a, dtype=np.uint64)
+    b = np.ascontiguousarray(b, dtype=np.uint64)
+    if a.ndim != 2 or b.shape != (a.shape[1],):
+        raise ValueError(
+            "expected a (batch, n) matrix and a length-n polynomial"
+        )
+    if plan is None:
+        plan = plan_for_size(a.shape[1])
+    spectra = negacyclic_transform_many(
+        np.concatenate([a, b[np.newaxis, :]], axis=0), plan
+    )
+    return negacyclic_inverse_many(vmul(spectra[:-1], spectra[-1:]), plan)
+
+
+def negacyclic_transform_many(
+    polys: np.ndarray, plan: Optional[TransformPlan] = None
+) -> np.ndarray:
+    """Twisted forward spectra of a ``(batch, n)`` coefficient matrix.
+
+    Together with :func:`negacyclic_inverse_many` this exposes the two
+    halves of the convolution so callers can reuse spectra (e.g. one
+    plaintext spectrum against both halves of an RLWE ciphertext).
+    """
+    polys = np.ascontiguousarray(polys, dtype=np.uint64)
+    if polys.ndim != 2:
+        raise ValueError("expected a (batch, n) matrix")
+    n = polys.shape[1]
+    if n == 0 or n & (n - 1):
+        raise ValueError("length must be a power of two")
+    if plan is None:
+        plan = plan_for_size(n)
+    if plan.n != n:
+        raise ValueError("plan size does not match input length")
+    forward, _ = _twist_tables(n)
+    return execute_plan_batch(vmul(polys, forward[np.newaxis, :]), plan)
+
+
+def negacyclic_inverse_many(
+    spectra: np.ndarray, plan: Optional[TransformPlan] = None
+) -> np.ndarray:
+    """Inverse of :func:`negacyclic_transform_many`: untwisted rows."""
+    spectra = np.ascontiguousarray(spectra, dtype=np.uint64)
+    if spectra.ndim != 2:
+        raise ValueError("expected a (batch, n) matrix")
+    n = spectra.shape[1]
+    if plan is None:
+        plan = plan_for_size(n)
+    if plan.n != n:
+        raise ValueError("plan size does not match input length")
+    _, backward = _twist_tables(n)
+    product = execute_plan_inverse_batch(spectra, plan)
+    return vmul(product, backward[np.newaxis, :])

@@ -56,9 +56,18 @@ class TransformPlan:
     omega: int
     stages: Tuple[StageSpec, ...]
     output_permutation: np.ndarray
+    #: ``n^{-1} mod p``, precomputed so the inverse transform never
+    #: allocates a fresh scale array per call.
+    n_inv: np.uint64 = field(default=np.uint64(0), compare=False)
     inverse_plan: Optional["TransformPlan"] = field(
         default=None, compare=False, repr=False
     )
+
+    def __post_init__(self) -> None:
+        # Directly-constructed plans (tests build corrupted copies) must
+        # never scale the inverse by a silently-wrong default.
+        if int(self.n_inv) == 0:
+            object.__setattr__(self, "n_inv", np.uint64(inverse(self.n)))
 
     @property
     def stage_count(self) -> int:
@@ -151,6 +160,36 @@ def _build(n: int, radices: Tuple[int, ...], omega: int) -> TransformPlan:
 
 
 _PLAN_CACHE: Dict[Tuple[int, Tuple[int, ...], int], TransformPlan] = {}
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Occupancy and hit/miss counters of the module-global plan cache."""
+
+    size: int
+    hits: int
+    misses: int
+
+
+def plan_cache_stats() -> PlanCacheStats:
+    """Snapshot of the plan cache (size, hits, misses)."""
+    return PlanCacheStats(
+        size=len(_PLAN_CACHE), hits=_CACHE_HITS, misses=_CACHE_MISSES
+    )
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the hit/miss counters.
+
+    Long-running sweeps build one plan per (size, radices, omega)
+    triple; this bounds the memory they pin.
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    _PLAN_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
 
 
 def plan_for_size(
@@ -170,12 +209,16 @@ def plan_for_size(
         omega = root_of_unity(n)
     if radices is None:
         radices = _default_radices(n)
+    global _CACHE_HITS, _CACHE_MISSES
     key = (n, tuple(radices), omega)
     if key not in _PLAN_CACHE:
+        _CACHE_MISSES += 1
         forward = _build(n, tuple(radices), omega)
         backward = _build(n, tuple(radices), inverse(omega))
         object.__setattr__(forward, "inverse_plan", backward)
         _PLAN_CACHE[key] = forward
+    else:
+        _CACHE_HITS += 1
     return _PLAN_CACHE[key]
 
 

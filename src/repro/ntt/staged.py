@@ -7,18 +7,25 @@ inter-stage twiddles are applied, and the block axis grows by the
 radix.  After the last stage a single digit-reversal permutation
 restores natural output order.
 
-This is the software model of what the accelerator does with hardware
-FFT-64 units plus DSP twiddle multipliers; it is bit-exact against
-:func:`repro.ntt.reference.dft_reference`.
+The executor is *batched*: the native operand is a ``(batch, n)``
+uint64 matrix whose rows are independent transforms.  Because every
+stage treats blocks identically, a batch row is simply one more level
+of the block axis — the per-stage Python loop count (radix² iterations)
+is independent of the batch size, so throughput-oriented callers
+amortize all interpreter overhead across the whole batch.  This is the
+software analogue of the paper's Section V observation that spare
+hardware resources admit pipelining of independent multiplications.
+
+``execute_plan``/``execute_plan_inverse`` accept either a flat length-n
+vector (the historical API, returned flat) or a ``(batch, n)`` matrix;
+the single-vector path is a thin ``batch=1`` wrapper and is bit-exact
+against :func:`repro.ntt.reference.dft_reference`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
 import numpy as np
 
-from repro.field.solinas import P, inverse
 from repro.field.vector import vadd, vmul
 from repro.ntt.plan import TransformPlan
 
@@ -49,28 +56,64 @@ def _stage_dft(block_view: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     return out
 
 
-def execute_plan(values: np.ndarray, plan: TransformPlan) -> np.ndarray:
-    """Forward NTT of ``values`` (uint64 canonical array) under ``plan``."""
-    if values.shape != (plan.n,):
-        raise ValueError(f"expected a flat array of length {plan.n}")
-    data = np.ascontiguousarray(values, dtype=np.uint64).reshape(1, plan.n)
+def execute_plan_batch(values: np.ndarray, plan: TransformPlan) -> np.ndarray:
+    """Row-wise forward NTT of a ``(batch, n)`` uint64 matrix.
+
+    Each row is transformed exactly as :func:`execute_plan` would
+    transform it alone; the batch axis rides along as the slowest
+    dimension of the block axis, so every stage's small-DFT matmul and
+    twiddle multiply run vectorized across the whole batch.
+    """
+    data = np.ascontiguousarray(values, dtype=np.uint64)
+    if data.ndim != 2 or data.shape[1] != plan.n:
+        raise ValueError(f"expected a (batch, {plan.n}) uint64 matrix")
+    batch = data.shape[0]
     for stage in plan.stages:
-        blocks, length = data.shape
+        rows, length = data.shape
         radix = stage.radix
         tail = length // radix
-        view = data.reshape(blocks, radix, tail)
+        view = data.reshape(rows, radix, tail)
         view = _stage_dft(view, stage.dft_matrix)
         if stage.twiddles is not None:
             view = vmul(view, stage.twiddles[np.newaxis, :, :])
-        data = view.reshape(blocks * radix, tail)
-    flat = data.reshape(plan.n)
-    return flat[plan.output_permutation]
+        data = view.reshape(rows * radix, tail)
+    out = data.reshape(batch, plan.n)
+    return out[:, plan.output_permutation]
+
+
+def execute_plan_inverse_batch(
+    values: np.ndarray, plan: TransformPlan
+) -> np.ndarray:
+    """Row-wise inverse NTT of a ``(batch, n)`` uint64 matrix."""
+    if plan.inverse_plan is None:
+        raise ValueError("plan was built without an inverse companion")
+    spectrum = execute_plan_batch(values, plan.inverse_plan)
+    return vmul(spectrum, np.broadcast_to(plan.n_inv, spectrum.shape))
+
+
+def execute_plan(values: np.ndarray, plan: TransformPlan) -> np.ndarray:
+    """Forward NTT under ``plan``.
+
+    A flat length-n array transforms to a flat array; a ``(batch, n)``
+    matrix transforms row-wise to a matrix of the same shape.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.uint64)
+    if arr.ndim == 2:
+        return execute_plan_batch(arr, plan)
+    if arr.shape != (plan.n,):
+        raise ValueError(f"expected a flat array of length {plan.n}")
+    return execute_plan_batch(arr.reshape(1, plan.n), plan)[0]
 
 
 def execute_plan_inverse(values: np.ndarray, plan: TransformPlan) -> np.ndarray:
-    """Inverse NTT: forward with the conjugate plan, scaled by ``n^{-1}``."""
-    if plan.inverse_plan is None:
-        raise ValueError("plan was built without an inverse companion")
-    spectrum = execute_plan(values, plan.inverse_plan)
-    n_inv = np.uint64(inverse(plan.n))
-    return vmul(spectrum, np.full(plan.n, n_inv, dtype=np.uint64))
+    """Inverse NTT: forward with the conjugate plan, scaled by ``n^{-1}``.
+
+    Accepts the same flat-vector / ``(batch, n)`` shapes as
+    :func:`execute_plan`.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.uint64)
+    if arr.ndim == 2:
+        return execute_plan_inverse_batch(arr, plan)
+    if arr.shape != (plan.n,):
+        raise ValueError(f"expected a flat array of length {plan.n}")
+    return execute_plan_inverse_batch(arr.reshape(1, plan.n), plan)[0]

@@ -17,11 +17,13 @@ study ("advantageous for operands of at least 100,000 bits").
 
 from repro.ssa.encode import (
     decompose,
+    decompose_many,
     recompose,
+    recompose_many,
     SSAParameters,
     PAPER_PARAMETERS,
 )
-from repro.ssa.carry import carry_recover
+from repro.ssa.carry import carry_recover, carry_recover_many
 from repro.ssa.multiplier import SSAMultiplier, ssa_multiply
 from repro.ssa.baselines import (
     schoolbook_multiply,
@@ -31,10 +33,13 @@ from repro.ssa.baselines import (
 
 __all__ = [
     "decompose",
+    "decompose_many",
     "recompose",
+    "recompose_many",
     "SSAParameters",
     "PAPER_PARAMETERS",
     "carry_recover",
+    "carry_recover_many",
     "SSAMultiplier",
     "ssa_multiply",
     "schoolbook_multiply",

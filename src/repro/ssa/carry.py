@@ -39,6 +39,44 @@ def carry_recover(
     return digits
 
 
+def carry_recover_many(
+    coefficients: np.ndarray, coefficient_bits: int
+) -> np.ndarray:
+    """Vectorized carry recovery over a ``(batch, n)`` uint64 matrix.
+
+    Row ``i`` of the returned ``(batch, n + extra)`` matrix holds the
+    normalized ``m``-bit digits of ``Σ_j c_ij · 2**(m·j)`` — identical
+    (up to trailing zeros) to :func:`carry_recover` applied per row.
+    Carries are propagated whole-matrix at a time: each pass splits
+    every entry into digit and carry and adds the carries one column
+    up; random convolution output settles in a handful of passes, and
+    saturated digit runs ripple one column per pass.
+    """
+    m = coefficient_bits
+    if not 0 < m < 64:
+        raise ValueError("coefficient width must be in (0, 64)")
+    coeffs = np.ascontiguousarray(coefficients, dtype=np.uint64)
+    if coeffs.ndim != 2:
+        raise ValueError("expected a (batch, n) matrix")
+    batch, n = coeffs.shape
+    # Headroom for the final carry-out: entries are < 2**64, so the row
+    # value is < 2**(m·(n-1) + 65) and ceil(64/m) + 1 extra digits
+    # always suffice.
+    extra = -(-64 // m) + 1
+    work = np.zeros((batch, n + extra), dtype=np.uint64)
+    work[:, :n] = coeffs
+    mask = np.uint64((1 << m) - 1)
+    shift = np.uint64(m)
+    while True:
+        carry = work >> shift
+        if not carry.any():
+            return work
+        # digit + carry < 2**m + 2**(64-m) <= 2**64: never overflows,
+        # and the sizing above guarantees the last column stays clean.
+        work &= mask
+        work[:, 1:] += carry[:, :-1]
+
+
 def carry_recover_blocked(
     coefficients: Sequence[int], coefficient_bits: int, block_size: int = 64
 ) -> List[int]:

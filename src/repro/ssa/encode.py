@@ -95,6 +95,45 @@ def decompose(value: int, params: SSAParameters) -> np.ndarray:
     return coeffs
 
 
+def decompose_many(values: Sequence[int], params: SSAParameters) -> np.ndarray:
+    """Decompose a batch of operands into a ``(batch, transform_size)`` matrix.
+
+    Row ``i`` equals ``decompose(values[i], params)``; on the
+    byte-aligned fast path all operands are serialized into one byte
+    buffer and sliced with a single vectorized pass.
+    """
+    values = [int(v) for v in values]
+    m = params.coefficient_bits
+    count = params.operand_coefficients
+    for value in values:
+        if value < 0:
+            raise ValueError("operands must be non-negative")
+        if value.bit_length() > params.operand_bits:
+            raise ValueError(
+                f"operand of {value.bit_length()} bits exceeds the "
+                f"{params.operand_bits}-bit limit of these parameters"
+            )
+    out = np.zeros((len(values), params.transform_size), dtype=np.uint64)
+    if not values:
+        return out
+    if m % 8 == 0:
+        step = m // 8
+        raw = b"".join(v.to_bytes(count * step, "little") for v in values)
+        chunks = np.frombuffer(raw, dtype=np.uint8).reshape(
+            len(values), count, step
+        )
+        acc = np.zeros((len(values), count), dtype=np.uint64)
+        for byte_index in range(step):
+            acc |= chunks[:, :, byte_index].astype(np.uint64) << np.uint64(
+                8 * byte_index
+            )
+        out[:, :count] = acc
+    else:
+        for row, value in enumerate(values):
+            out[row] = decompose(value, params)
+    return out
+
+
 def _decompose_via_bytes(
     value: int, m: int, out: np.ndarray, count: int
 ) -> None:
@@ -128,6 +167,34 @@ def recompose(coefficients: Sequence[int], coefficient_bits: int) -> int:
     for c in reversed(coeffs):
         value = (value << m) + c
     return value
+
+
+def recompose_many(
+    digit_rows: np.ndarray, coefficient_bits: int
+) -> "list[int]":
+    """Batch inverse of :func:`decompose`: one integer per digit row.
+
+    ``digit_rows`` is a ``(batch, digits)`` uint64 matrix, normally the
+    normalized output of
+    :func:`repro.ssa.carry.carry_recover_many`.  On the byte-aligned
+    fast path (digits already within ``m`` bits) the whole matrix is
+    re-serialized with one vectorized byte-slice; otherwise each row
+    falls back to :func:`recompose`.
+    """
+    m = coefficient_bits
+    digits = np.ascontiguousarray(digit_rows, dtype=np.uint64)
+    if digits.ndim != 2:
+        raise ValueError("expected a (batch, digits) matrix")
+    batch, width = digits.shape
+    if batch == 0 or width == 0:
+        return [0] * batch
+    if m % 8 == 0 and m < 64 and not (digits >> np.uint64(m)).any():
+        step = m // 8
+        le_bytes = digits.astype("<u8").view(np.uint8)
+        le_bytes = le_bytes.reshape(batch, width, 8)[:, :, :step]
+        raw = np.ascontiguousarray(le_bytes).reshape(batch, width * step)
+        return [int.from_bytes(row.tobytes(), "little") for row in raw]
+    return [recompose([int(c) for c in row], m) for row in digits]
 
 
 def _recompose_via_bytes(coeffs: Sequence[int], m: int) -> int:

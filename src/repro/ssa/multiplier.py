@@ -15,15 +15,27 @@ which reuses this code for its datapath values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ntt.convolution import pointwise_mul
 from repro.ntt.plan import TransformPlan, plan_for_size
-from repro.ntt.staged import execute_plan, execute_plan_inverse
-from repro.ssa.carry import carry_recover
-from repro.ssa.encode import PAPER_PARAMETERS, SSAParameters, decompose, recompose
+from repro.ntt.staged import (
+    execute_plan,
+    execute_plan_batch,
+    execute_plan_inverse,
+    execute_plan_inverse_batch,
+)
+from repro.ssa.carry import carry_recover, carry_recover_many
+from repro.ssa.encode import (
+    PAPER_PARAMETERS,
+    SSAParameters,
+    decompose,
+    decompose_many,
+    recompose,
+    recompose_many,
+)
 
 
 @dataclass
@@ -93,6 +105,33 @@ class SSAMultiplier:
         convolution = execute_plan_inverse(spectrum, self._plan)
         digits = carry_recover(convolution, self.params.coefficient_bits)
         return recompose(digits, self.params.coefficient_bits)
+
+    def multiply_many(self, pairs: Sequence[Tuple[int, int]]) -> List[int]:
+        """Exact products ``[a·b for (a, b) in pairs]``, batched.
+
+        The whole batch runs through one batched decompose, a single
+        forward NTT over all ``2·B`` operand rows, a batched pointwise
+        product, one batched inverse NTT, and vectorized carry
+        recovery/recompose — bit-exact against looping
+        :meth:`multiply`, but with the per-stage interpreter overhead
+        amortized across the batch (the software counterpart of the
+        Section V batch macro-pipeline).
+        """
+        pairs = [(int(a), int(b)) for a, b in pairs]
+        if not pairs:
+            return []
+        count = len(pairs)
+        operands = decompose_many(
+            [a for a, _ in pairs] + [b for _, b in pairs], self.params
+        )
+        spectra = execute_plan_batch(operands, self._plan)
+        convolutions = execute_plan_inverse_batch(
+            pointwise_mul(spectra[:count], spectra[count:]), self._plan
+        )
+        digit_rows = carry_recover_many(
+            convolutions, self.params.coefficient_bits
+        )
+        return recompose_many(digit_rows, self.params.coefficient_bits)
 
     def square(self, a: int) -> int:
         """Exact square ``a²`` using a single forward transform."""

@@ -8,10 +8,12 @@ before trusting any number the library prints:
 2. vectorized arithmetic against scalar oracles;
 3. every NTT path against the O(n²) reference at small size;
 4. a mid-size SSA multiply against Python integers;
-5. the distributed accelerator (datapath fidelity) against the
+5. the batched execution engine (matrix executor and
+   ``multiply_many``) against the per-vector oracles;
+6. the distributed accelerator (datapath fidelity) against the
    executor;
-6. the analytic timing against the paper's headline numbers;
-7. a DGHV encrypt–evaluate–decrypt roundtrip.
+7. the analytic timing against the paper's headline numbers;
+8. a DGHV encrypt–evaluate–decrypt roundtrip.
 """
 
 from __future__ import annotations
@@ -92,6 +94,35 @@ def _check_ssa() -> CheckResult:
     return CheckResult("50,000-bit SSA multiply vs Python ints", ok)
 
 
+def _check_batch() -> CheckResult:
+    import numpy as np
+
+    from repro.field.solinas import P
+    from repro.ntt.plan import plan_for_size
+    from repro.ntt.staged import execute_plan, execute_plan_batch
+    from repro.ssa.multiplier import SSAMultiplier
+
+    rng = random.Random(6)
+    plan = plan_for_size(256, (16, 16))
+    matrix = np.array(
+        [[rng.randrange(P) for _ in range(256)] for _ in range(4)],
+        dtype=np.uint64,
+    )
+    rows_match = all(
+        np.array_equal(row_out, execute_plan(row_in, plan))
+        for row_in, row_out in zip(matrix, execute_plan_batch(matrix, plan))
+    )
+    mul = SSAMultiplier.for_bits(2048)
+    pairs = [
+        (rng.getrandbits(2048), rng.getrandbits(2048)) for _ in range(4)
+    ]
+    products_match = mul.multiply_many(pairs) == [a * b for a, b in pairs]
+    return CheckResult(
+        "batched executor / multiply_many vs per-vector oracles",
+        rows_match and products_match,
+    )
+
+
 def _check_accelerator() -> CheckResult:
     import numpy as np
 
@@ -151,6 +182,7 @@ CHECKS: List[Callable[[], CheckResult]] = [
     _check_vector,
     _check_ntt_paths,
     _check_ssa,
+    _check_batch,
     _check_accelerator,
     _check_timing,
     _check_fhe,

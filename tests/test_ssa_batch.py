@@ -1,0 +1,134 @@
+"""Property tests for the batched SSA pipeline: decompose_many /
+carry_recover_many / recompose_many / SSAMultiplier.multiply_many."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssa.carry import carry_recover, carry_recover_many
+from repro.ssa.encode import (
+    SSAParameters,
+    decompose,
+    decompose_many,
+    recompose,
+    recompose_many,
+)
+from repro.ssa.multiplier import SSAMultiplier
+
+
+class TestDecomposeMany:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=(1 << 2048) - 1),
+            min_size=0,
+            max_size=5,
+        )
+    )
+    def test_matches_per_value(self, values):
+        params = SSAParameters(coefficient_bits=24, operand_coefficients=128)
+        matrix = decompose_many(values, params)
+        assert matrix.shape == (len(values), params.transform_size)
+        for value, row in zip(values, matrix):
+            assert np.array_equal(row, decompose(value, params))
+
+    def test_non_byte_aligned_width(self):
+        params = SSAParameters(coefficient_bits=10, operand_coefficients=16)
+        values = [0, 1, (1 << params.operand_bits) - 1, 12345]
+        matrix = decompose_many(values, params)
+        for value, row in zip(values, matrix):
+            assert np.array_equal(row, decompose(value, params))
+
+    def test_oversize_operand_rejected(self):
+        params = SSAParameters(coefficient_bits=24, operand_coefficients=128)
+        with pytest.raises(ValueError):
+            decompose_many([1 << params.operand_bits], params)
+
+
+class TestCarryRecoverMany:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.sampled_from([8, 10, 24, 32]),
+        batch=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_matches_per_row(self, m, batch, seed):
+        rng = np.random.default_rng(seed)
+        # Raw convolution magnitudes: anything below 2**63.
+        coeffs = rng.integers(0, 1 << 63, size=(batch, 32), dtype=np.uint64)
+        digit_rows = carry_recover_many(coeffs, m)
+        for row_in, row_out in zip(coeffs, digit_rows):
+            want = carry_recover([int(c) for c in row_in], m)
+            got = [int(d) for d in row_out]
+            assert got[: len(want)] == want
+            assert all(d == 0 for d in got[len(want) :])
+
+    def test_saturated_ripple(self):
+        """A full row of maximal digits plus one carry ripples end-to-end."""
+        m = 24
+        mask = (1 << m) - 1
+        row = np.full((1, 64), mask, dtype=np.uint64)
+        row[0, 0] = mask + 1
+        digit_rows = carry_recover_many(row, m)
+        want = carry_recover([int(c) for c in row[0]], m)
+        assert [int(d) for d in digit_rows[0][: len(want)]] == want
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            carry_recover_many(np.zeros(8, dtype=np.uint64), 24)
+        with pytest.raises(ValueError):
+            carry_recover_many(np.zeros((2, 8), dtype=np.uint64), 64)
+
+
+class TestRecomposeMany:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=(1 << 1024) - 1),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_roundtrip(self, values):
+        params = SSAParameters(coefficient_bits=24, operand_coefficients=64)
+        matrix = decompose_many(values, params)
+        assert recompose_many(matrix, params.coefficient_bits) == values
+
+    def test_unnormalized_falls_back(self):
+        rows = np.array([[1 << 40, 5], [7, 0]], dtype=np.uint64)
+        want = [recompose([int(c) for c in row], 24) for row in rows]
+        assert recompose_many(rows, 24) == want
+
+
+class TestMultiplyMany:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 2048) - 1),
+                st.integers(min_value=0, max_value=(1 << 2048) - 1),
+            ),
+            min_size=0,
+            max_size=4,
+        )
+    )
+    def test_matches_bigint_and_looped(self, pairs):
+        multiplier = SSAMultiplier.for_bits(2048)
+        got = multiplier.multiply_many(pairs)
+        assert got == [a * b for a, b in pairs]
+        assert got == [multiplier.multiply(a, b) for a, b in pairs]
+
+    def test_edge_operands(self):
+        multiplier = SSAMultiplier.for_bits(4096)
+        pairs = [
+            (0, 0),
+            (1, 1),
+            (2**4096 - 1, 1),
+            (2**4000 - 1, 2**4000 - 1),
+            (2**24, 2**24 - 1),
+        ]
+        assert multiplier.multiply_many(pairs) == [a * b for a, b in pairs]
+
+    def test_empty_batch(self):
+        assert SSAMultiplier.for_bits(1024).multiply_many([]) == []
