@@ -64,7 +64,7 @@ def _cmd_multiply(args: argparse.Namespace) -> None:
                 "note: --pes applies to the hardware model only and is "
                 "ignored for --count > 1"
             )
-        multiplier = SSAMultiplier.for_bits(args.bits)
+        multiplier = SSAMultiplier.for_bits(args.bits, kernel=args.kernel)
         pairs = [
             (rng.getrandbits(args.bits), rng.getrandbits(args.bits))
             for _ in range(args.count)
@@ -83,13 +83,15 @@ def _cmd_multiply(args: argparse.Namespace) -> None:
             raise SystemExit(1)
         return
     pes = args.pes if args.pes is not None else 4
-    if args.bits == 786_432:
+    if args.bits == 786_432 and args.kernel is None:
         accelerator = HEAccelerator(pes=pes)
     else:
-        sizing = SSAMultiplier.for_bits(args.bits)
+        sizing = SSAMultiplier.for_bits(args.bits, kernel=args.kernel)
         accelerator = HEAccelerator(
             pes=pes,
-            plan=plan_for_size(sizing.params.transform_size),
+            plan=plan_for_size(
+                sizing.params.transform_size, kernel=args.kernel
+            ),
             params=sizing.params,
         )
     a = rng.getrandbits(args.bits)
@@ -184,6 +186,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="batch size; >1 uses the batched execution engine",
+    )
+    pm.add_argument(
+        "--kernel",
+        choices=["loop", "limb-matmul"],
+        default=None,
+        help=(
+            "NTT stage-DFT backend (default: REPRO_NTT_KERNEL env var, "
+            "then limb-matmul)"
+        ),
     )
     pm.set_defaults(func=_cmd_multiply)
 

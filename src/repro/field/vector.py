@@ -14,7 +14,7 @@ each helper documents the ranges involved.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 import numpy as np
 
@@ -38,28 +38,55 @@ def from_field_array(array: np.ndarray) -> List[int]:
     return [int(v) for v in array]
 
 
-def vadd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def vadd(
+    a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Elementwise ``(a + b) mod p`` for canonical inputs.
 
     ``a + b < 2p < 2**65`` may wrap; wrapping happened iff the unsigned
     sum is smaller than an operand, and a wrapped value needs
     ``+ 2**64 mod p = + epsilon``.
+
+    ``out`` (optional) receives the result and is returned; it may
+    alias ``a`` and/or ``b``, letting accumulation loops run without
+    allocating per-iteration temporaries.
     """
-    s = a + b
-    wrapped = s < a
-    s = np.where(wrapped, s + _EPSILON, s)
-    # The +epsilon correction cannot wrap again: a wrapped s is < p - 1.
-    s = np.where(s >= _P64, s - _P64, s)
-    return s
+    if out is None:
+        s = a + b
+        wrapped = s < a
+        s = np.where(wrapped, s + _EPSILON, s)
+        # The +epsilon correction cannot wrap again: a wrapped s is < p - 1.
+        s = np.where(s >= _P64, s - _P64, s)
+        return s
+    # a + b wraps 2**64 iff a > ~b, decided *before* the add so that
+    # out may alias either operand through any view, not just the same
+    # array object.
+    wrapped = a > np.bitwise_not(b)
+    np.add(a, b, out=out)
+    np.add(out, _EPSILON, out=out, where=wrapped)
+    np.subtract(out, _P64, out=out, where=out >= _P64)
+    return out
 
 
-def vsub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Elementwise ``(a - b) mod p`` for canonical inputs."""
-    d = a - b
-    borrowed = a < b
-    # A borrow means the true value is d - 2**64 ≡ d - epsilon (mod p).
-    d = np.where(borrowed, d - _EPSILON, d)
-    return np.where(d >= _P64, d - _P64, d)
+def vsub(
+    a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Elementwise ``(a - b) mod p`` for canonical inputs.
+
+    ``out`` (optional) receives the result and is returned; it may
+    alias ``a`` and/or ``b``.
+    """
+    if out is None:
+        d = a - b
+        borrowed = a < b
+        # A borrow means the true value is d - 2**64 ≡ d - epsilon (mod p).
+        d = np.where(borrowed, d - _EPSILON, d)
+        return np.where(d >= _P64, d - _P64, d)
+    borrowed = a < b  # read before the subtract may clobber a or b
+    np.subtract(a, b, out=out)
+    np.subtract(out, _EPSILON, out=out, where=borrowed)
+    np.subtract(out, _P64, out=out, where=out >= _P64)
+    return out
 
 
 def vneg(a: np.ndarray) -> np.ndarray:
@@ -90,35 +117,66 @@ def _mul_wide(a: np.ndarray, b: np.ndarray):
     return hi, lo
 
 
-def _reduce_wide(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+def _reduce_wide(
+    hi: np.ndarray, lo: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Reduce a 128-bit value ``hi·2**64 + lo`` to a canonical residue.
 
     Word-level form of the paper's Equation 4: with ``hi = h1·2**32 + h0``,
     ``x ≡ lo − h1 + h0·(2**32 − 1) (mod p)``.
+
+    ``out`` (optional) receives the result and is returned; it may
+    alias ``hi`` or ``lo``.
     """
     h0 = hi & _MASK32
     h1 = hi >> _SHIFT32
 
-    # t = lo - h1 (mod p); on borrow the wrapped value needs -epsilon.
-    t = lo - h1
+    if out is None:
+        # t = lo - h1 (mod p); on borrow the wrapped value needs -epsilon.
+        t = lo - h1
+        borrowed = lo < h1
+        t = np.where(borrowed, t - _EPSILON, t)
+
+        # t += h0 * epsilon; h0*epsilon < 2**64 always, sum may wrap once.
+        t2 = t + h0 * _EPSILON
+        wrapped = t2 < t
+        t2 = np.where(wrapped, t2 + _EPSILON, t2)
+
+        return np.where(t2 >= _P64, t2 - _P64, t2)
+
+    # In-place pipeline: h0/h1 were extracted above, so out may freely
+    # clobber hi or lo from here on.
     borrowed = lo < h1
-    t = np.where(borrowed, t - _EPSILON, t)
+    np.subtract(lo, h1, out=out)
+    np.subtract(out, _EPSILON, out=out, where=borrowed)
+    np.multiply(h0, _EPSILON, out=h0)  # exact: h0·epsilon < 2**64
+    np.add(out, h0, out=out)
+    # The sum wrapped iff it ended up below the (still intact) addend.
+    np.add(out, _EPSILON, out=out, where=out < h0)
+    np.subtract(out, _P64, out=out, where=out >= _P64)
+    return out
 
-    # t += h0 * epsilon; h0*epsilon < 2**64 always, sum may wrap once.
-    t2 = t + h0 * _EPSILON
-    wrapped = t2 < t
-    t2 = np.where(wrapped, t2 + _EPSILON, t2)
 
-    return np.where(t2 >= _P64, t2 - _P64, t2)
+def vmul(
+    a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Elementwise ``(a * b) mod p`` for canonical inputs.
 
-
-def vmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Elementwise ``(a * b) mod p`` for canonical inputs."""
+    ``out`` (optional) receives the result and is returned; it may
+    alias ``a`` and/or ``b`` (the wide product is formed before the
+    reduction writes anything).
+    """
     hi, lo = _mul_wide(a, b)
-    return _reduce_wide(hi, lo)
+    return _reduce_wide(hi, lo, out=out)
 
 
-def vmul_scalar(a: np.ndarray, scalar: int) -> np.ndarray:
-    """Elementwise ``(a * scalar) mod p`` with a Python-int scalar."""
-    s = np.full_like(a, np.uint64(scalar % P))
-    return vmul(a, s)
+def vmul_scalar(
+    a: np.ndarray, scalar: int, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Elementwise ``(a * scalar) mod p`` with a Python-int scalar.
+
+    The scalar is broadcast as a zero-stride view, not materialized as
+    a full array.
+    """
+    s = np.broadcast_to(np.uint64(scalar % P), a.shape)
+    return vmul(a, s, out=out)

@@ -42,8 +42,8 @@ from repro.hw.timing import (
     CARRY_RECOVERY_WORDS_PER_CYCLE,
     DOT_PRODUCT_MULTIPLIERS,
 )
+from repro.ntt.kernels import stage_executor
 from repro.ntt.plan import TransformPlan, paper_64k_plan
-from repro.ntt.staged import _stage_dft
 from repro.sim.trace import Timeline
 from repro.ssa.carry import carry_recover
 from repro.ssa.encode import PAPER_PARAMETERS, SSAParameters, decompose, recompose
@@ -332,15 +332,20 @@ class HEAccelerator:
     def _run_stage_fast(
         self, data: np.ndarray, plan: TransformPlan, index: int
     ) -> np.ndarray:
-        """Vectorized stage execution (same math as the NTT executor)."""
+        """Vectorized stage execution (same math as the NTT executor).
+
+        Dispatches on the plan's kernel backend, so the functional
+        model rides the same limb-matmul fast path as the library NTT.
+        """
         length, radix, tail = self._stage_geometry(plan, index)
         stage = plan.stages[index]
         blocks = plan.n // length
         view = data.reshape(blocks, radix, tail)
-        view = _stage_dft(view, stage.dft_matrix)
+        out = np.empty_like(view)
+        stage_executor(plan.kernel or None)(view, stage, out)
         if stage.twiddles is not None:
-            view = vmul(view, stage.twiddles[np.newaxis, :, :])
-        return view.reshape(plan.n)
+            vmul(out, stage.twiddles[np.newaxis, :, :], out=out)
+        return out.reshape(plan.n)
 
     def _run_stage_datapath(
         self,

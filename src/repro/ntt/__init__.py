@@ -13,6 +13,9 @@ Layered as in the paper:
 - :mod:`repro.ntt.plan` — mixed-radix transform plans, including the
   paper's three-stage 64·64·16 decomposition of the 64K transform
   (Eq. 2);
+- :mod:`repro.ntt.kernels` — selectable stage-DFT backends: the
+  ``loop`` reference and the ``limb-matmul`` fast kernel (exact
+  16-bit-limb float64 matmuls folded by the Eq. 4 identities);
 - :mod:`repro.ntt.staged` — vectorized execution of a plan;
 - :mod:`repro.ntt.convolution` — cyclic convolution on top of the NTT.
 """
@@ -24,6 +27,16 @@ from repro.ntt.radix64 import (
     ntt_shift_radix,
     ntt64_two_stage,
     SHIFT_RADICES,
+)
+from repro.ntt.kernels import (
+    KERNEL_ENV_VAR,
+    KERNEL_LIMB_MATMUL,
+    KERNEL_LOOP,
+    available_kernels,
+    default_kernel,
+    resolve_kernel,
+    stage_dft_limb_matmul,
+    stage_dft_loop,
 )
 from repro.ntt.plan import (
     TransformPlan,
@@ -64,6 +77,14 @@ __all__ = [
     "ntt_shift_radix",
     "ntt64_two_stage",
     "SHIFT_RADICES",
+    "KERNEL_ENV_VAR",
+    "KERNEL_LIMB_MATMUL",
+    "KERNEL_LOOP",
+    "available_kernels",
+    "default_kernel",
+    "resolve_kernel",
+    "stage_dft_limb_matmul",
+    "stage_dft_loop",
     "TransformPlan",
     "PlanCacheStats",
     "clear_plan_cache",

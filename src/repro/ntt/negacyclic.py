@@ -87,9 +87,10 @@ def negacyclic_convolution_many(
     if plan.n != n:
         raise ValueError("plan size does not match input length")
     spectra = negacyclic_transform_many(np.concatenate([a, b], axis=0), plan)
-    return negacyclic_inverse_many(
-        vmul(spectra[:batch], spectra[batch:]), plan
-    )
+    # The pointwise product may overwrite the first half of the owned
+    # spectra matrix instead of allocating a fresh one.
+    product = vmul(spectra[:batch], spectra[batch:], out=spectra[:batch])
+    return negacyclic_inverse_many(product, plan)
 
 
 def negacyclic_convolution_broadcast(
@@ -157,4 +158,5 @@ def negacyclic_inverse_many(
         raise ValueError("plan size does not match input length")
     _, backward = _twist_tables(n)
     product = execute_plan_inverse_batch(spectra, plan)
-    return vmul(product, backward[np.newaxis, :])
+    # `product` is freshly owned by this call: untwist in place.
+    return vmul(product, backward[np.newaxis, :], out=product)

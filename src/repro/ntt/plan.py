@@ -25,6 +25,7 @@ import numpy as np
 from repro.field.roots import root_of_unity
 from repro.field.solinas import P, inverse, pow_mod
 from repro.field.vector import to_field_array
+from repro.ntt.kernels import limb_decompose_matrix, resolve_kernel
 
 #: The paper's operating point (Section III).
 PAPER_TRANSFORM_SIZE = 65536
@@ -42,6 +43,18 @@ class StageSpec:
     dft_matrix: np.ndarray
     #: (radix, tail) inter-stage twiddle table; ``None`` for the last stage.
     twiddles: Optional[np.ndarray]
+    #: ``(4, radix, radix)`` float64 16-bit-limb planes of ``dft_matrix``,
+    #: precomputed for the ``limb-matmul`` kernel (``__post_init__``
+    #: fills it in, so hand-built specs are complete too).
+    dft_limbs: Optional[np.ndarray] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.dft_limbs is None:
+            object.__setattr__(
+                self, "dft_limbs", limb_decompose_matrix(self.dft_matrix)
+            )
 
 
 @dataclass(frozen=True)
@@ -62,12 +75,19 @@ class TransformPlan:
     inverse_plan: Optional["TransformPlan"] = field(
         default=None, compare=False, repr=False
     )
+    #: Stage-DFT backend the executor dispatches on: ``"loop"`` or
+    #: ``"limb-matmul"`` (see :mod:`repro.ntt.kernels`).  An empty
+    #: string resolves to the process default at construction.
+    kernel: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
         # Directly-constructed plans (tests build corrupted copies) must
         # never scale the inverse by a silently-wrong default.
         if int(self.n_inv) == 0:
             object.__setattr__(self, "n_inv", np.uint64(inverse(self.n)))
+        object.__setattr__(
+            self, "kernel", resolve_kernel(self.kernel or None)
+        )
 
     @property
     def stage_count(self) -> int:
@@ -124,7 +144,9 @@ def _output_permutation(n: int, radices: Sequence[int]) -> np.ndarray:
     return perm
 
 
-def _build(n: int, radices: Tuple[int, ...], omega: int) -> TransformPlan:
+def _build(
+    n: int, radices: Tuple[int, ...], omega: int, kernel: str = ""
+) -> TransformPlan:
     product = 1
     for r in radices:
         product *= r
@@ -156,10 +178,11 @@ def _build(n: int, radices: Tuple[int, ...], omega: int) -> TransformPlan:
         omega=omega,
         stages=tuple(stages),
         output_permutation=_output_permutation(n, radices),
+        kernel=kernel,
     )
 
 
-_PLAN_CACHE: Dict[Tuple[int, Tuple[int, ...], int], TransformPlan] = {}
+_PLAN_CACHE: Dict[Tuple[int, Tuple[int, ...], int, str], TransformPlan] = {}
 _CACHE_HITS = 0
 _CACHE_MISSES = 0
 
@@ -196,12 +219,18 @@ def plan_for_size(
     n: int,
     radices: Optional[Sequence[int]] = None,
     omega: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> TransformPlan:
     """Build (and cache) a plan for an ``n``-point transform.
 
     ``radices`` defaults to greedy radix-64 stages with one smaller
     final stage, mirroring the paper's preference for high radices.
     The returned plan carries a matching ``inverse_plan``.
+
+    ``kernel`` pins the stage-DFT backend (``"loop"`` or
+    ``"limb-matmul"``); ``None`` resolves through the
+    ``REPRO_NTT_KERNEL`` environment variable, defaulting to
+    ``limb-matmul``.
     """
     if n & (n - 1) or n == 0:
         raise ValueError("transform size must be a power of two")
@@ -209,12 +238,13 @@ def plan_for_size(
         omega = root_of_unity(n)
     if radices is None:
         radices = _default_radices(n)
+    kernel = resolve_kernel(kernel)
     global _CACHE_HITS, _CACHE_MISSES
-    key = (n, tuple(radices), omega)
+    key = (n, tuple(radices), omega, kernel)
     if key not in _PLAN_CACHE:
         _CACHE_MISSES += 1
-        forward = _build(n, tuple(radices), omega)
-        backward = _build(n, tuple(radices), inverse(omega))
+        forward = _build(n, tuple(radices), omega, kernel)
+        backward = _build(n, tuple(radices), inverse(omega), kernel)
         object.__setattr__(forward, "inverse_plan", backward)
         _PLAN_CACHE[key] = forward
     else:

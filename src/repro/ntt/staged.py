@@ -7,14 +7,21 @@ inter-stage twiddles are applied, and the block axis grows by the
 radix.  After the last stage a single digit-reversal permutation
 restores natural output order.
 
+The stage DFT itself dispatches on the plan's *kernel backend*
+(:mod:`repro.ntt.kernels`): the ``loop`` reference walks the
+``radix²`` multiply-accumulate web in interpreted iterations, while
+the default ``limb-matmul`` backend evaluates the same web as a
+handful of exact 16-bit-limb float64 matmuls — the software analogue
+of the FFT-64 unit computing a radix-64 DFT in one pipelined pass.
+The executor ping-pongs between two preallocated working buffers and
+applies twiddles in place, so a transform allocates O(batch·n) once
+instead of churning per-stage temporaries.
+
 The executor is *batched*: the native operand is a ``(batch, n)``
 uint64 matrix whose rows are independent transforms.  Because every
 stage treats blocks identically, a batch row is simply one more level
-of the block axis — the per-stage Python loop count (radix² iterations)
-is independent of the batch size, so throughput-oriented callers
-amortize all interpreter overhead across the whole batch.  This is the
-software analogue of the paper's Section V observation that spare
-hardware resources admit pipelining of independent multiplications.
+of the block axis, so throughput-oriented callers amortize the
+remaining per-stage overhead across the whole batch.
 
 ``execute_plan``/``execute_plan_inverse`` accept either a flat length-n
 vector (the historical API, returned flat) or a ``(batch, n)`` matrix;
@@ -26,34 +33,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.field.vector import vadd, vmul
+from repro.field.vector import vmul
+from repro.ntt.kernels import stage_dft_loop, stage_executor
 from repro.ntt.plan import TransformPlan
 
 
 def _stage_dft(block_view: np.ndarray, matrix: np.ndarray) -> np.ndarray:
-    """Apply a radix-R DFT along axis 1 of a ``(B, R, M)`` array.
+    """Reference radix-R DFT along axis 1 of a ``(B, R, M)`` array.
 
-    ``out[b, k, m] = Σ_i  matrix[k, i] · block_view[b, i, m]`` — R²
-    scalar-vector modular multiply-accumulates, the software analogue
-    of the shift-and-add chains in the FFT-64 unit.
+    Back-compat shim over :func:`repro.ntt.kernels.stage_dft_loop`,
+    kept as the bit-exactness oracle for the fast kernel.
     """
-    b, radix, tail = block_view.shape
-    out = np.zeros_like(block_view)
-    for k in range(radix):
-        acc = np.zeros((b, tail), dtype=np.uint64)
-        row = matrix[k]
-        for i in range(radix):
-            w = row[i]
-            if w == 1:
-                term = block_view[:, i, :]
-            else:
-                term = vmul(
-                    block_view[:, i, :],
-                    np.broadcast_to(w, (b, tail)),
-                )
-            acc = vadd(acc, term)
-        out[:, k, :] = acc
-    return out
+    return stage_dft_loop(block_view, matrix)
 
 
 def execute_plan_batch(values: np.ndarray, plan: TransformPlan) -> np.ndarray:
@@ -61,23 +52,34 @@ def execute_plan_batch(values: np.ndarray, plan: TransformPlan) -> np.ndarray:
 
     Each row is transformed exactly as :func:`execute_plan` would
     transform it alone; the batch axis rides along as the slowest
-    dimension of the block axis, so every stage's small-DFT matmul and
-    twiddle multiply run vectorized across the whole batch.
+    dimension of the block axis, so every stage's small-DFT and twiddle
+    multiply run vectorized across the whole batch.
     """
     data = np.ascontiguousarray(values, dtype=np.uint64)
     if data.ndim != 2 or data.shape[1] != plan.n:
         raise ValueError(f"expected a (batch, {plan.n}) uint64 matrix")
     batch = data.shape[0]
+    kernel = stage_executor(plan.kernel or None)
+
+    # Two ping-pong buffers cover every stage: the kernels write `dst`
+    # from `src` without aliasing, and stage output shapes all hold
+    # batch·n elements.  The caller's array is only ever read.
+    src = data
+    bufs = [np.empty_like(data), None]
+    which = 0
     for stage in plan.stages:
-        rows, length = data.shape
+        rows, length = src.shape
         radix = stage.radix
         tail = length // radix
-        view = data.reshape(rows, radix, tail)
-        view = _stage_dft(view, stage.dft_matrix)
+        if bufs[which] is None:
+            bufs[which] = np.empty_like(data)
+        dst = bufs[which].reshape(rows, radix, tail)
+        kernel(src.reshape(rows, radix, tail), stage, dst)
         if stage.twiddles is not None:
-            view = vmul(view, stage.twiddles[np.newaxis, :, :])
-        data = view.reshape(rows * radix, tail)
-    out = data.reshape(batch, plan.n)
+            vmul(dst, stage.twiddles[np.newaxis, :, :], out=dst)
+        src = dst.reshape(rows * radix, tail)
+        which = 1 - which
+    out = src.reshape(batch, plan.n)
     return out[:, plan.output_permutation]
 
 
@@ -88,7 +90,12 @@ def execute_plan_inverse_batch(
     if plan.inverse_plan is None:
         raise ValueError("plan was built without an inverse companion")
     spectrum = execute_plan_batch(values, plan.inverse_plan)
-    return vmul(spectrum, np.broadcast_to(plan.n_inv, spectrum.shape))
+    # `spectrum` is freshly owned: scale in place.
+    return vmul(
+        spectrum,
+        np.broadcast_to(plan.n_inv, spectrum.shape),
+        out=spectrum,
+    )
 
 
 def execute_plan(values: np.ndarray, plan: TransformPlan) -> np.ndarray:

@@ -157,8 +157,16 @@ def recompose(coefficients: Sequence[int], coefficient_bits: int) -> int:
     a byte-aligned fast path handles the common post-carry case where
     every coefficient fits its ``m`` bits.
     """
-    m = coefficient_bits
-    coeffs = [int(c) for c in coefficients]
+    if isinstance(coefficients, np.ndarray):
+        # One C-level pass instead of a per-element int() loop.
+        coeffs = coefficients.tolist()
+    else:
+        coeffs = [int(c) for c in coefficients]
+    return _recompose_ints(coeffs, coefficient_bits)
+
+
+def _recompose_ints(coeffs: "list[int]", m: int) -> int:
+    """:func:`recompose` for a list already holding Python ints."""
     if any(c < 0 for c in coeffs):
         raise ValueError("coefficients must be non-negative")
     if m % 8 == 0 and all(c < (1 << m) for c in coeffs):
@@ -194,7 +202,9 @@ def recompose_many(
         le_bytes = le_bytes.reshape(batch, width, 8)[:, :, :step]
         raw = np.ascontiguousarray(le_bytes).reshape(batch, width * step)
         return [int.from_bytes(row.tobytes(), "little") for row in raw]
-    return [recompose([int(c) for c in row], m) for row in digits]
+    # Slow path: one ndarray→list conversion per row (C-level), not a
+    # per-element Python round-trip feeding recompose's own int() loop.
+    return [_recompose_ints(row, m) for row in digits.tolist()]
 
 
 def _recompose_via_bytes(coeffs: Sequence[int], m: int) -> int:

@@ -50,6 +50,11 @@ class SSAMultiplier:
         NTT stage factorization; defaults to the paper's
         ``(64, 64, 16)`` when the transform size is 64K, otherwise a
         greedy high-radix plan.
+    kernel:
+        Stage-DFT backend for the NTT plan (``"loop"`` or
+        ``"limb-matmul"``); ``None`` resolves through the
+        ``REPRO_NTT_KERNEL`` environment variable, defaulting to
+        ``limb-matmul``.
 
     Examples
     --------
@@ -60,6 +65,7 @@ class SSAMultiplier:
 
     params: SSAParameters = PAPER_PARAMETERS
     radices: Optional[Sequence[int]] = None
+    kernel: Optional[str] = None
     _plan: TransformPlan = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -67,11 +73,15 @@ class SSAMultiplier:
         self._plan = plan_for_size(
             self.params.transform_size,
             tuple(self.radices) if self.radices is not None else None,
+            kernel=self.kernel,
         )
 
     @classmethod
     def for_bits(
-        cls, operand_bits: int, coefficient_bits: int = 24
+        cls,
+        operand_bits: int,
+        coefficient_bits: int = 24,
+        kernel: Optional[str] = None,
     ) -> "SSAMultiplier":
         """Build a multiplier able to handle ``operand_bits`` operands.
 
@@ -85,7 +95,8 @@ class SSAMultiplier:
         return cls(
             params=SSAParameters(
                 coefficient_bits=coefficient_bits, operand_coefficients=size
-            )
+            ),
+            kernel=kernel,
         )
 
     @property

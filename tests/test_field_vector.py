@@ -123,3 +123,96 @@ class TestBroadcasting:
         out = vmul(a, row)
         assert out.shape == (3, 4)
         assert int(out[2, 3]) == 11 * 8 % P
+
+    def test_vmul_scalar_does_not_materialize(self):
+        """The scalar operand is a zero-stride broadcast view."""
+        a = to_field_array(EDGES)
+        want = [x * 12345 % P for x in EDGES]
+        assert from_field_array(vmul_scalar(a, 12345)) == want
+        # Scalars are reduced mod p first.
+        assert from_field_array(vmul_scalar(a, P + 2)) == [
+            x * 2 % P for x in EDGES
+        ]
+
+
+class TestOutParameter:
+    """In-place variants: `out=` may alias the operands."""
+
+    def setup_method(self):
+        pairs = [(a, b) for a in EDGES for b in EDGES]
+        self.a = to_field_array([p[0] for p in pairs])
+        self.b = to_field_array([p[1] for p in pairs])
+
+    @pytest.mark.parametrize("op", [vadd, vsub, vmul])
+    def test_fresh_out_matches_pure(self, op):
+        want = op(self.a, self.b)
+        out = np.empty_like(self.a)
+        result = op(self.a, self.b, out=out)
+        assert result is out
+        assert np.array_equal(out, want)
+
+    @pytest.mark.parametrize("op", [vadd, vsub, vmul])
+    def test_out_aliases_first_operand(self, op):
+        want = op(self.a, self.b)
+        x = self.a.copy()
+        op(x, self.b, out=x)
+        assert np.array_equal(x, want)
+
+    @pytest.mark.parametrize("op", [vadd, vsub, vmul])
+    def test_out_aliases_second_operand(self, op):
+        want = op(self.a, self.b)
+        y = self.b.copy()
+        op(self.a, y, out=y)
+        assert np.array_equal(y, want)
+
+    @pytest.mark.parametrize("op", [vadd, vsub, vmul])
+    def test_out_aliases_both_operands(self, op):
+        want = op(self.a, self.a)
+        x = self.a.copy()
+        op(x, x, out=x)
+        assert np.array_equal(x, want)
+
+    @pytest.mark.parametrize("op", [vadd, vsub, vmul])
+    def test_out_aliases_through_distinct_view_objects(self, op):
+        """Aliasing must be detected by memory, not object identity:
+        x[:] is a different ndarray object over the same buffer."""
+        want = op(self.a, self.a)
+        x = self.a.copy()
+        op(x, x[:], out=x)
+        assert np.array_equal(x, want)
+        y = self.a.copy()
+        op(y[:], y, out=y[:])
+        assert np.array_equal(y, want)
+
+    def test_vmul_scalar_out(self):
+        want = vmul_scalar(self.a, 99991)
+        x = self.a.copy()
+        assert vmul_scalar(x, 99991, out=x) is x
+        assert np.array_equal(x, want)
+
+    def test_accumulation_loop_stays_canonical(self):
+        """The usage pattern of the loop kernel: acc reused in place."""
+        acc = self.a.copy()
+        term = np.empty_like(acc)
+        total = [int(v) for v in self.a]
+        for scalar in (P - 1, 1 << 32, 3):
+            vmul(self.b, np.broadcast_to(np.uint64(scalar), self.b.shape),
+                 out=term)
+            vadd(acc, term, out=acc)
+            total = [
+                (t + int(y) * scalar) % P for t, y in zip(total, self.b)
+            ]
+        assert from_field_array(acc) == total
+
+    def test_reduce_wide_out(self):
+        from repro.field.vector import _mul_wide, _reduce_wide
+
+        hi, lo = _mul_wide(self.a, self.b)
+        want = _reduce_wide(hi, lo)
+        out = np.empty_like(lo)
+        assert _reduce_wide(hi, lo, out=out) is out
+        assert np.array_equal(out, want)
+        # out aliasing lo (the staged executor's fold does this)
+        hi2, lo2 = _mul_wide(self.a, self.b)
+        _reduce_wide(hi2, lo2, out=lo2)
+        assert np.array_equal(lo2, want)

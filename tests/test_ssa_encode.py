@@ -10,7 +10,9 @@ from repro.ssa.encode import (
     PAPER_PARAMETERS,
     SSAParameters,
     decompose,
+    decompose_many,
     recompose,
+    recompose_many,
 )
 
 
@@ -111,3 +113,51 @@ class TestRecompose:
         fast = recompose(coeffs, 24)
         slow = sum(c << (24 * i) for i, c in enumerate(coeffs))
         assert fast == slow
+
+    def test_ndarray_input_equals_list_input(self, rng):
+        coeffs = [rng.randrange(1 << 24) for _ in range(50)]
+        arr = np.array(coeffs, dtype=np.uint64)
+        assert recompose(arr, 24) == recompose(coeffs, 24)
+
+
+class TestRecomposeMany:
+    def test_fast_path_matches_per_row(self, rng):
+        rows = np.array(
+            [[rng.randrange(1 << 24) for _ in range(20)] for _ in range(5)],
+            dtype=np.uint64,
+        )
+        want = [recompose(row, 24) for row in rows]
+        assert recompose_many(rows, 24) == want
+
+    def test_slow_path_wide_digits(self, rng):
+        """Digits above 2**m force the generic path; it must agree with
+        per-row recompose without any per-element int() round-trip."""
+        rows = np.array(
+            [[rng.randrange(1 << 40) for _ in range(12)] for _ in range(4)],
+            dtype=np.uint64,
+        )
+        want = [
+            sum(int(c) << (24 * i) for i, c in enumerate(row))
+            for row in rows
+        ]
+        assert recompose_many(rows, 24) == want
+
+    def test_slow_path_non_byte_aligned(self, rng):
+        rows = np.array(
+            [[rng.randrange(1 << 10) for _ in range(8)] for _ in range(3)],
+            dtype=np.uint64,
+        )
+        want = [
+            sum(int(c) << (10 * i) for i, c in enumerate(row))
+            for row in rows
+        ]
+        assert recompose_many(rows, 10) == want
+
+    def test_roundtrip_against_decompose_many(self, rng):
+        params = SSAParameters(coefficient_bits=24, operand_coefficients=64)
+        values = [rng.getrandbits(params.operand_bits) for _ in range(6)]
+        digits = decompose_many(values, params)
+        assert recompose_many(digits, 24) == values
+
+    def test_empty(self):
+        assert recompose_many(np.zeros((0, 4), dtype=np.uint64), 24) == []
