@@ -1,0 +1,216 @@
+"""SSA-multiply perf trajectory, driven through the Engine façade.
+
+Standalone benchmark (also importable under pytest) timing
+``Engine().multiply`` on the software backend: the paper's single
+786,432-bit product plus looped-vs-batched throughput at service-like
+batch sizes — every measurement cross-checked bit-exact against
+Python's big integers.  Results go to two places:
+
+- ``BENCH_ssa_multiply.json`` at the repo root — the machine-readable
+  perf-trajectory point (SSA-multiply series, one point per PR);
+- ``benchmarks/output/ssa_multiply.txt`` — the human-readable table.
+
+Usage::
+
+    python benchmarks/bench_ssa_multiply.py            # full: paper size
+    python benchmarks/bench_ssa_multiply.py --smoke    # CI: small sizes
+
+Exit status is non-zero if any product loses bit-exactness or the
+batched path regresses below the mode's speedup floor over looped
+multiplication.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import Engine  # noqa: E402
+
+DEFAULT_JSON = REPO_ROOT / "BENCH_ssa_multiply.json"
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+#: The batched path must never lose to looping the scalar path on a
+#: full run; the smoke floor is lenient because CI boxes are noisy and
+#: the sizes tiny.
+FULL_MIN_SPEEDUP = 1.0
+SMOKE_MIN_SPEEDUP = 0.5
+
+
+def _best_time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_case(
+    engine: Engine, bits: int, count: int, repeats: int, seed: int
+) -> dict:
+    """Time looped vs batched products of one ``(bits, count)`` point."""
+    rng = random.Random(seed)
+    left = [rng.getrandbits(bits) for _ in range(count)]
+    right = [rng.getrandbits(bits) for _ in range(count)]
+    truth = [a * b for a, b in zip(left, right)]
+
+    batched = engine.multiply(left, right)  # warm plans + verify
+    looped = [engine.multiply(a, b) for a, b in zip(left, right)]
+    bit_exact = batched == truth and looped == truth
+
+    looped_s = _best_time(
+        lambda: [engine.multiply(a, b) for a, b in zip(left, right)],
+        repeats,
+    )
+    batched_s = _best_time(lambda: engine.multiply(left, right), repeats)
+    return {
+        "bits": bits,
+        "count": count,
+        "looped_s": looped_s,
+        "batched_s": batched_s,
+        "speedup": looped_s / batched_s,
+        "batched_ops_per_s": count / batched_s,
+        "bit_exact": bit_exact,
+    }
+
+
+def render_table(results: List[dict]) -> str:
+    lines = [
+        "SSA multiplication through Engine(): looped vs batched",
+        "",
+        f"{'bits':>8} {'count':>6} {'looped s':>10} {'batched s':>10} "
+        f"{'speedup':>8} {'ops/s':>10} {'exact':>6}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r['bits']:>8} {r['count']:>6} {r['looped_s']:>10.4f} "
+            f"{r['batched_s']:>10.4f} {r['speedup']:>7.2f}x "
+            f"{r['batched_ops_per_s']:>10.1f} "
+            f"{'yes' if r['bit_exact'] else 'NO':>6}"
+        )
+    return "\n".join(lines)
+
+
+def evaluate(results: List[dict], smoke: bool) -> List[str]:
+    """Gate failures (empty list == pass)."""
+    floor = SMOKE_MIN_SPEEDUP if smoke else FULL_MIN_SPEEDUP
+    failures = []
+    for r in results:
+        tag = f"bits={r['bits']} count={r['count']}"
+        if not r["bit_exact"]:
+            failures.append(f"{tag}: products diverged from big-int truth")
+        if r["count"] > 1 and r["speedup"] < floor:
+            failures.append(
+                f"{tag}: batched path regressed to "
+                f"{r['speedup']:.2f}x (< {floor}x looped)"
+            )
+    return failures
+
+
+def run_suite(smoke: bool, repeats: Optional[int], seed: int) -> dict:
+    engine = Engine()
+    if smoke:
+        cases = [(2048, 1), (2048, 8)]
+        repeats = repeats or 2
+    else:
+        cases = [(786_432, 1), (4096, 32), (16384, 16)]
+        repeats = repeats or 3
+    results = [
+        run_case(engine, bits, count, repeats, seed + i)
+        for i, (bits, count) in enumerate(cases)
+    ]
+    failures = evaluate(results, smoke)
+    return {
+        "benchmark": "ssa_multiply",
+        "schema_version": 1,
+        "mode": "smoke" if smoke else "full",
+        "created_unix": time.time(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "config": {
+            "engine_kernel": engine.config.kernel,
+            "repeats": repeats,
+            "seed": seed,
+            "timer": "best-of-repeats wall clock",
+        },
+        "results": results,
+        "acceptance": {
+            "min_batched_speedup": (
+                SMOKE_MIN_SPEEDUP if smoke else FULL_MIN_SPEEDUP
+            ),
+            "failures": failures,
+            "passed": not failures,
+        },
+    }
+
+
+def test_smoke_comparison():
+    """Pytest hook: the smoke suite must pass its gates."""
+    report = run_suite(smoke=True, repeats=1, seed=0x55A)
+    assert report["acceptance"]["passed"], report["acceptance"]["failures"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes for CI; lenient speedup floor",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats per case"
+    )
+    parser.add_argument("--seed", type=int, default=0x55A)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help=(
+            "where to write the JSON report (default: repo-root "
+            "BENCH_ssa_multiply.json on full runs, nowhere on --smoke)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.smoke, args.repeats, args.seed)
+    table = render_table(report["results"])
+    print(table)
+
+    json_path = args.json
+    if json_path is None and not args.smoke:
+        json_path = DEFAULT_JSON
+    if json_path is not None:
+        json_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {json_path}")
+    if not args.smoke:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / "ssa_multiply.txt").write_text(table + "\n")
+
+    failures = report["acceptance"]["failures"]
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nPASS: bit-exact everywhere, speedup gates met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

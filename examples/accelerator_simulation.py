@@ -20,11 +20,10 @@ import random
 
 import numpy as np
 
+from repro.engine import Engine, ExecutionConfig
 from repro.field.solinas import P
 from repro.field.vector import to_field_array
-from repro.hw.accelerator import HEAccelerator
 from repro.hw.timing import PAPER_TIMING
-from repro.ntt.plan import plan_for_size
 from repro.ssa.encode import SSAParameters
 
 
@@ -32,7 +31,8 @@ def main() -> None:
     rng = random.Random(64)
 
     print("=== 64K-point distributed NTT on 4 PEs (fast fidelity) ===\n")
-    accelerator = HEAccelerator()
+    engine = Engine(backend="hw-model")
+    accelerator = engine.hardware()  # 4 PEs, the paper's 64K plan
     data = to_field_array([rng.randrange(P) for _ in range(65536)])
     spectrum, report = accelerator.distributed_ntt(data)
     print(report.render())
@@ -55,8 +55,11 @@ def main() -> None:
 
     print("\n=== 1024-point run in datapath fidelity ===\n")
     params = SSAParameters(coefficient_bits=24, operand_coefficients=512)
-    small = HEAccelerator(
-        pes=4, plan=plan_for_size(1024, (64, 16)), params=params
+    small_engine = Engine(
+        config=ExecutionConfig(fidelity="datapath"), backend="hw-model"
+    )
+    small = small_engine.hardware(
+        plan=small_engine.plan(1024, (64, 16)), params=params
     )
     x = to_field_array([rng.randrange(P) for _ in range(1024)])
     fast, _ = small.distributed_ntt(x, fidelity="fast")

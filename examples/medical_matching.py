@@ -17,14 +17,17 @@ Run:  python examples/medical_matching.py
 
 import random
 
-from repro import DGHV, TOY
+from repro.engine import Engine
+from repro.fhe import TOY
 from repro.fhe.ops import he_add, he_mult
 from repro.hw.timing import PAPER_TIMING
 
 
 def main() -> None:
     rng = random.Random(541)
-    scheme = DGHV(TOY, rng=rng)
+    # Engine().fhe(TOY) binds the DGHV context to the engine's SSA
+    # multiplier, so every AND gate below runs the real NTT pipeline.
+    scheme = Engine().fhe(TOY, rng=rng)
     keys = scheme.generate_keys()
 
     patients = 8

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's headline workload in a dozen lines.
+"""Quickstart: the paper's headline workload through the Engine façade.
 
 Multiplies two 786,432-bit integers (the DGHV "small setting"
 ciphertext size) three ways —
 
-1. bit-exact Schönhage–Strassen over GF(2^64 − 2^32 + 1),
-2. the accelerator model, which produces the same product *plus* the
-   cycle-accurate timing of the 4-PE Stratix V design (≈122 µs),
+1. ``Engine()`` — bit-exact Schönhage–Strassen over GF(2^64 − 2^32 + 1)
+   on the software backend,
+2. ``Engine(backend="hw-model")`` — the same product through the
+   cycle-counted accelerator model, which also yields the ≈122 µs
+   timing of the 4-PE Stratix V design,
 3. Python's built-in multiplication, as the ground truth —
 
 then prints the reproduced Table I and Table II.
@@ -17,7 +19,8 @@ Run:  python examples/quickstart.py
 import random
 import time
 
-from repro import HEAccelerator, SSAMultiplier, table1_report, table2_report
+from repro.engine import Engine
+from repro.hw import table1_report, table2_report
 
 
 def main() -> None:
@@ -27,15 +30,15 @@ def main() -> None:
 
     print("operands: two random 786,432-bit integers\n")
 
+    software = Engine()  # paper parameters: 32K x 24-bit, 64K-point NTT
     t0 = time.perf_counter()
-    ssa = SSAMultiplier()  # paper parameters: 32K x 24-bit, 64K-point NTT
-    product_ssa = ssa.multiply(a, b)
+    product_ssa = software.multiply(a, b)
     t1 = time.perf_counter()
-    print(f"SSA multiplier:        {t1 - t0:6.2f} s wall clock (pure Python/numpy)")
+    print(f"Engine():                 {t1 - t0:6.2f} s wall clock (pure Python/numpy)")
 
-    accelerator = HEAccelerator()  # 4 PEs, 200 MHz, radix-64/64/16
-    product_hw, report = accelerator.multiply(a, b)
-    print(f"accelerator model:     {report.time_us:6.2f} us simulated at 200 MHz")
+    hardware = Engine(backend="hw-model")  # 4 PEs, 200 MHz, radix-64/64/16
+    product_hw, report = hardware.multiply_with_report(a, b)
+    print(f"Engine(backend=hw-model): {report.time_us:6.2f} us simulated at 200 MHz")
     print()
     print(report.render())
     print()
@@ -43,7 +46,7 @@ def main() -> None:
     truth = a * b
     assert product_ssa == truth, "SSA product mismatch!"
     assert product_hw == truth, "accelerator product mismatch!"
-    print("both pipelines are bit-exact against Python's big integers\n")
+    print("both backends are bit-exact against Python's big integers\n")
 
     print(table1_report().render())
     print()

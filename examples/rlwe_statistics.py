@@ -17,7 +17,8 @@ Run:  python examples/rlwe_statistics.py
 
 import random
 
-from repro.fhe.rlwe import RLWE, RLWEParams
+from repro.engine import Engine
+from repro.fhe.rlwe import RLWEParams
 
 DAYS = 7
 PATIENTS = 1024
@@ -28,7 +29,9 @@ T = 1024
 def main() -> None:
     rng = random.Random(8080)
     params = RLWEParams(n=PATIENTS, t=T, noise_bound=6)
-    scheme = RLWE(params, rng=rng)
+    # Engine().fhe(RLWEParams) binds every ring product to the engine's
+    # per-engine plan cache and NTT kernel.
+    scheme = Engine().fhe(params, rng=rng)
     secret = scheme.generate_secret()
     print(
         f"RLWE over Z_p[x]/(x^{params.n} + 1), p = 2^64 - 2^32 + 1, "

@@ -1,13 +1,20 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
+Every compute command is a thin shell over one
+:class:`repro.engine.Engine`: the ``--kernel`` / ``--pes`` /
+``--backend`` flags build an
+:class:`~repro.engine.config.ExecutionConfig`, and the command body
+just calls the engine.
+
 Commands:
 
 - ``table1`` — regenerate the Table I resource census;
 - ``table2`` — regenerate the Table II timing comparison;
 - ``fft`` — simulate a distributed NTT and print the stage schedule;
-- ``multiply`` — run accelerated SSA multiplication (random operands
-  of a chosen width); ``--count N`` runs an N-product batch through
-  the batched execution engine and reports ops/sec;
+- ``multiply`` — run SSA multiplication (random operands of a chosen
+  width) on the ``hw-model`` backend (cycle report) or ``software``
+  backend; ``--count N`` runs an N-product batch through the batched
+  execution engine and reports ops/sec;
 - ``scaling`` — PE scaling sweep;
 - ``deployments`` — compare the Stratix V and Cyclone V realizations;
 - ``batch`` — batch-pipelined throughput schedule (hardware model);
@@ -21,6 +28,18 @@ import argparse
 import random
 import sys
 from typing import List, Optional
+
+
+def _engine(args: argparse.Namespace, backend: str = "software"):
+    """Build the Engine the command flags describe."""
+    from repro.engine import Engine, ExecutionConfig
+
+    overrides = {}
+    if getattr(args, "kernel", None) is not None:
+        overrides["kernel"] = args.kernel
+    if getattr(args, "pes", None) is not None:
+        overrides["pes"] = args.pes
+    return Engine(config=ExecutionConfig(**overrides), backend=backend)
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -38,41 +57,33 @@ def _cmd_table2(args: argparse.Namespace) -> None:
 def _cmd_fft(args: argparse.Namespace) -> None:
     from repro.field.solinas import P
     from repro.field.vector import to_field_array
-    from repro.hw.accelerator import HEAccelerator
 
     rng = random.Random(args.seed)
-    accelerator = HEAccelerator(pes=args.pes)
+    accelerator = _engine(args, backend="hw-model").hardware()
     data = to_field_array([rng.randrange(P) for _ in range(65536)])
     _, report = accelerator.distributed_ntt(data)
     print(report.render())
 
 
 def _cmd_multiply(args: argparse.Namespace) -> None:
-    from repro.hw.accelerator import HEAccelerator
-    from repro.ntt.plan import plan_for_size
-    from repro.ssa.multiplier import SSAMultiplier
-    from repro.ssa.encode import SSAParameters
-
     rng = random.Random(args.seed)
     if args.count < 1:
         raise SystemExit("error: --count must be >= 1")
     if args.count > 1:
         import time
 
-        if args.pes is not None:
+        if args.pes is not None and args.backend != "hw-model":
             print(
                 "note: --pes applies to the hardware model only and is "
                 "ignored for --count > 1"
             )
-        multiplier = SSAMultiplier.for_bits(args.bits, kernel=args.kernel)
-        pairs = [
-            (rng.getrandbits(args.bits), rng.getrandbits(args.bits))
-            for _ in range(args.count)
-        ]
+        engine = _engine(args, backend=args.backend or "software")
+        operands_a = [rng.getrandbits(args.bits) for _ in range(args.count)]
+        operands_b = [rng.getrandbits(args.bits) for _ in range(args.count)]
         start = time.perf_counter()
-        products = multiplier.multiply_many(pairs)
+        products = engine.multiply(operands_a, operands_b)
         elapsed = time.perf_counter() - start
-        ok = products == [a * b for a, b in pairs]
+        ok = products == [a * b for a, b in zip(operands_a, operands_b)]
         status = "OK" if ok else "MISMATCH"
         print(
             f"batch of {args.count} {args.bits}-bit products: {status} "
@@ -82,24 +93,16 @@ def _cmd_multiply(args: argparse.Namespace) -> None:
         if not ok:
             raise SystemExit(1)
         return
-    pes = args.pes if args.pes is not None else 4
-    if args.bits == 786_432 and args.kernel is None:
-        accelerator = HEAccelerator(pes=pes)
-    else:
-        sizing = SSAMultiplier.for_bits(args.bits, kernel=args.kernel)
-        accelerator = HEAccelerator(
-            pes=pes,
-            plan=plan_for_size(
-                sizing.params.transform_size, kernel=args.kernel
-            ),
-            params=sizing.params,
-        )
+    engine = _engine(args, backend=args.backend or "hw-model")
     a = rng.getrandbits(args.bits)
     b = rng.getrandbits(args.bits)
-    product, report = accelerator.multiply(a, b)
+    product, report = engine.multiply_with_report(a, b)
     status = "OK" if product == a * b else "MISMATCH"
     print(f"{args.bits}-bit x {args.bits}-bit product: {status}")
-    print(report.render())
+    if report is not None:
+        print(report.render())
+    if status != "OK":
+        raise SystemExit(1)
 
 
 def _cmd_scaling(args: argparse.Namespace) -> None:
@@ -138,7 +141,10 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
     from repro.hw.batch import measure_software_batch, schedule_batch
 
     comparison = measure_software_batch(
-        bits=args.bits, count=args.count, seed=args.seed
+        bits=args.bits,
+        count=args.count,
+        seed=args.seed,
+        engine=_engine(args),
     )
     print(comparison.render())
     print()
@@ -194,6 +200,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "NTT stage-DFT backend (default: REPRO_NTT_KERNEL env var, "
             "then limb-matmul)"
+        ),
+    )
+    pm.add_argument(
+        "--backend",
+        choices=["software", "hw-model"],
+        default=None,
+        help=(
+            "compute backend (default: hw-model with its cycle report "
+            "for a single product, software for --count > 1)"
         ),
     )
     pm.set_defaults(func=_cmd_multiply)

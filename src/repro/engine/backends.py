@@ -1,0 +1,309 @@
+"""Compute backends: where an :class:`~repro.engine.Engine` runs its math.
+
+The paper describes one machine with two faces — the *values* an
+FFT/SSA pipeline produces and the *cycles* the FPGA spends producing
+them.  A :class:`ComputeBackend` is that seam made explicit: the engine
+routes every transform and every multiplication through its backend,
+and the two stock backends answer with identical bits:
+
+``software``
+    The staged vectorized executor (:mod:`repro.ntt.staged`) and the
+    functional :class:`repro.ssa.SSAMultiplier`.  Fast; no timing.
+
+``hw-model``
+    The transaction-level accelerator model
+    (:class:`repro.hw.accelerator.HEAccelerator`): the same values,
+    computed through the distributed multi-PE dataflow, plus
+    cycle-accurate :class:`~repro.hw.accelerator.MultiplyReport` /
+    :class:`~repro.hw.accelerator.DistributedFFTReport` timing.
+    Accelerator instances (and therefore their ping-pong stage
+    buffers) are cached per plan, so repeated workloads reuse both
+    plans and buffers.
+
+Third-party backends register through :func:`register_backend` and are
+then constructible by name: ``Engine(backend="my-backend")``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.config import CACHE_OFF
+from repro.ntt.plan import TransformPlan
+from repro.ntt.staged import execute_plan_batch, execute_plan_inverse_batch
+from repro.ssa.encode import SSAParameters
+from repro.ssa.multiplier import SSAMultiplier
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.core import Engine
+
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreters
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+SOFTWARE = "software"
+HW_MODEL = "hw-model"
+
+
+@runtime_checkable
+class ComputeBackend(Protocol):
+    """The contract an engine backend fulfils.
+
+    A backend is a *value producer*: given a plan and operands it must
+    return bit-exact GF(p) results.  It may additionally produce timing
+    reports, which the engine surfaces via ``Engine.last_report``.
+    """
+
+    name: str
+
+    def transform(
+        self,
+        engine: "Engine",
+        plan: TransformPlan,
+        values: np.ndarray,
+        inverse: bool = False,
+    ) -> np.ndarray:
+        """Row-wise (inverse) NTT of a ``(batch, n)`` uint64 matrix."""
+        ...
+
+    def multiply(
+        self, engine: "Engine", multiplier: SSAMultiplier, a: int, b: int
+    ) -> Tuple[int, Optional[object]]:
+        """One exact product; returns ``(product, report-or-None)``."""
+        ...
+
+    def multiply_many(
+        self,
+        engine: "Engine",
+        multiplier: SSAMultiplier,
+        pairs: List[Tuple[int, int]],
+    ) -> Tuple[List[int], Optional[object]]:
+        """Batched exact products; ``(products, report-or-None)``."""
+        ...
+
+
+_REGISTRY: Dict[str, Callable[[], ComputeBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], ComputeBackend]
+) -> None:
+    """Register a backend constructor under ``name``.
+
+    Registered names are accepted by ``Engine(backend=...)``.  Names
+    are unique; re-registering an existing name replaces it (useful for
+    tests injecting instrumented backends).
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(name: str) -> ComputeBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of "
+            f"{available_backends()}"
+        ) from None
+    return factory()
+
+
+class SoftwareBackend:
+    """Staged vectorized execution — values only, maximum throughput."""
+
+    name = SOFTWARE
+
+    def transform(
+        self,
+        engine: "Engine",
+        plan: TransformPlan,
+        values: np.ndarray,
+        inverse: bool = False,
+    ) -> np.ndarray:
+        if inverse:
+            return execute_plan_inverse_batch(values, plan)
+        return execute_plan_batch(values, plan)
+
+    def multiply(
+        self, engine: "Engine", multiplier: SSAMultiplier, a: int, b: int
+    ) -> Tuple[int, Optional[object]]:
+        return multiplier.multiply(a, b), None
+
+    def multiply_many(
+        self,
+        engine: "Engine",
+        multiplier: SSAMultiplier,
+        pairs: List[Tuple[int, int]],
+    ) -> Tuple[List[int], Optional[object]]:
+        chunk = engine.config.batch_chunk
+        if chunk is None or len(pairs) <= chunk:
+            return multiplier.multiply_many(pairs), None
+        products: List[int] = []
+        for start in range(0, len(pairs), chunk):
+            products.extend(
+                multiplier.multiply_many(pairs[start : start + chunk])
+            )
+        return products, None
+
+
+class HardwareModelBackend:
+    """The cycle-counted accelerator model as an engine backend.
+
+    Values are bit-identical to :class:`SoftwareBackend`; every call
+    additionally produces the paper's timing reports.  One
+    :class:`~repro.hw.accelerator.HEAccelerator` is built per transform
+    plan and reused across calls, so its plans *and* its ping-pong
+    stage buffers persist for the life of the engine.
+    """
+
+    name = HW_MODEL
+    #: The shift-only FFT unit supports radices 8..64, so the smallest
+    #: transform the model can execute is 8 points; Engine.multiplier
+    #: floors its sizing here.
+    min_transform_size = 8
+
+    def __init__(self) -> None:
+        self._accelerators: Dict[object, object] = {}
+
+    def clear(self) -> None:
+        """Drop the accelerator pool (called by ``Engine.clear_cache``).
+
+        The pool is keyed by plan identity, so it must be emptied
+        whenever the engine drops its plan cache — otherwise every
+        evicted plan would stay alive through its pooled accelerator.
+        """
+        self._accelerators.clear()
+
+    # -- accelerator pool -------------------------------------------------
+
+    def accelerator(
+        self,
+        engine: "Engine",
+        plan: Optional[TransformPlan] = None,
+        params: Optional[SSAParameters] = None,
+    ):
+        """The pooled :class:`HEAccelerator` for ``(plan, params)``.
+
+        ``plan`` defaults to the paper's 64K plan (built in the
+        engine's cache) and ``params`` to the matching SSA sizing.  The
+        PE count is the engine's configured ``pes``, shrunk to the
+        largest power of two the plan's smallest stage can still be
+        partitioned over.
+        """
+        from repro.hw.accelerator import HEAccelerator
+        from repro.ssa.encode import PAPER_PARAMETERS
+
+        if plan is None:
+            if params is None:
+                params = PAPER_PARAMETERS
+            plan = engine.plan(params.transform_size)
+        elif params is None:
+            params = engine._params_for_plan(plan)
+        pes = self._compatible_pes(engine.config.pes, plan)
+        key = (id(plan), params, pes, engine.config.clock_ns)
+        accelerator = self._accelerators.get(key)
+        if accelerator is None:
+            accelerator = HEAccelerator(
+                pes=pes,
+                plan=plan,
+                params=params,
+                clock_ns=engine.config.clock_ns,
+            )
+            # With cache="off" every plan() call yields a fresh object,
+            # so an id-keyed pool would grow without bound — skip it.
+            if engine.config.cache != CACHE_OFF:
+                self._accelerators[key] = accelerator
+        return accelerator
+
+    @staticmethod
+    def _compatible_pes(pes: int, plan: TransformPlan) -> int:
+        """Largest power of two ≤ ``pes`` dividing every stage's work."""
+        while pes > 1 and any(
+            count % pes for _, count in plan.sub_transform_counts()
+        ):
+            pes //= 2
+        return pes
+
+    # -- backend contract -------------------------------------------------
+
+    def transform(
+        self,
+        engine: "Engine",
+        plan: TransformPlan,
+        values: np.ndarray,
+        inverse: bool = False,
+    ) -> np.ndarray:
+        accelerator = self.accelerator(
+            engine, plan, engine._params_for_plan(plan)
+        )
+        out = np.empty_like(values)
+        reports = []
+        for row in range(values.shape[0]):
+            out[row], report = accelerator.distributed_ntt(
+                values[row],
+                inverse=inverse,
+                fidelity=engine.config.fidelity,
+            )
+            reports.append(report)
+        engine._record_report(reports if len(reports) != 1 else reports[0])
+        return out
+
+    def multiply(
+        self, engine: "Engine", multiplier: SSAMultiplier, a: int, b: int
+    ) -> Tuple[int, Optional[object]]:
+        accelerator = self.accelerator(
+            engine, multiplier.plan, multiplier.params
+        )
+        product, report = accelerator.multiply(
+            a, b, fidelity=engine.config.fidelity
+        )
+        return product, report
+
+    def multiply_many(
+        self,
+        engine: "Engine",
+        multiplier: SSAMultiplier,
+        pairs: List[Tuple[int, int]],
+    ) -> Tuple[List[int], Optional[object]]:
+        accelerator = self.accelerator(
+            engine, multiplier.plan, multiplier.params
+        )
+        products: List[int] = []
+        reports = []
+        for a, b in pairs:
+            product, report = accelerator.multiply(
+                a, b, fidelity=engine.config.fidelity
+            )
+            products.append(product)
+            reports.append(report)
+        return products, reports
+
+
+register_backend(SOFTWARE, SoftwareBackend)
+register_backend(HW_MODEL, HardwareModelBackend)
+
+__all__ = [
+    "ComputeBackend",
+    "SoftwareBackend",
+    "HardwareModelBackend",
+    "register_backend",
+    "available_backends",
+    "create_backend",
+    "SOFTWARE",
+    "HW_MODEL",
+]

@@ -1,0 +1,132 @@
+"""Execution configuration for the :class:`repro.engine.Engine` façade.
+
+One frozen :class:`ExecutionConfig` fixes every knob that used to be
+hand-threaded through the stack (``kernel=`` kwargs, ``REPRO_NTT_KERNEL``
+environment lookups, PE counts, clock period, batch chunking) so the
+whole field→NTT→SSA→FHE→hw pipeline is configured in exactly one place.
+
+Kernel precedence (resolved **once**, at config construction):
+
+1. an explicit ``kernel=`` passed to :class:`ExecutionConfig` (or to
+   :meth:`ExecutionConfig.default`),
+2. the ``REPRO_NTT_KERNEL`` environment variable as read *at the moment
+   the config is constructed* — later changes to the environment do not
+   retroactively affect an engine that is already built,
+3. the built-in default (``limb-matmul``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.ntt.kernels import (
+    KERNEL_ENV_VAR,
+    available_kernels,
+    resolve_kernel,
+)
+
+#: Allowed values of :attr:`ExecutionConfig.cache`.
+CACHE_PRIVATE = "private"
+CACHE_SHARED = "shared"
+CACHE_OFF = "off"
+_CACHE_MODES = (CACHE_PRIVATE, CACHE_SHARED, CACHE_OFF)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Every tunable of an :class:`repro.engine.Engine`, in one object.
+
+    Parameters
+    ----------
+    kernel:
+        NTT stage-DFT backend (``"loop"`` or ``"limb-matmul"``).
+        ``None`` resolves through ``REPRO_NTT_KERNEL`` **once, here at
+        construction** (see the module docstring for the precedence
+        rule); the resolved name is stored, so the engine never touches
+        the environment again.
+    batch_chunk:
+        Upper bound on the number of operand pairs fed to one batched
+        SSA pass.  ``None`` runs any batch in a single pass; a positive
+        value bounds the peak working-set of very large batches.
+    cache:
+        Plan-cache policy.  ``"private"`` (default) gives the engine
+        its own :class:`repro.ntt.plan.PlanCache`; ``"shared"`` uses the
+        process-wide default cache (what the legacy module-level API
+        uses, so plans are shared with it); ``"off"`` rebuilds plans on
+        every request.  ``True`` / ``False`` are accepted as aliases
+        for ``"private"`` / ``"off"``.
+    pes:
+        Processing-element count for the ``hw-model`` backend (power of
+        two).  Backends shrink this automatically for transforms too
+        small to partition over the full count.
+    clock_ns:
+        Clock period of the ``hw-model`` cycle model (5 ns = 200 MHz,
+        the paper's Stratix V operating point).
+    fidelity:
+        ``hw-model`` simulation fidelity: ``"fast"`` (vectorized math,
+        analytic cycle ledgers) or ``"datapath"`` (every beat through
+        the banked memories and the shift-only FFT-64 unit).
+    coefficient_bits:
+        SSA digit width used when the engine sizes a multiplier from an
+        operand bit length (the paper uses 24).
+    """
+
+    kernel: Optional[str] = None
+    batch_chunk: Optional[int] = None
+    cache: object = CACHE_PRIVATE
+    pes: int = 4
+    clock_ns: float = 5.0
+    fidelity: str = "fast"
+    coefficient_bits: int = 24
+
+    def __post_init__(self) -> None:
+        # The one and only environment read: resolve_kernel(None)
+        # consults REPRO_NTT_KERNEL; the resolved name is frozen in.
+        object.__setattr__(self, "kernel", resolve_kernel(self.kernel))
+        cache = self.cache
+        if cache is True:
+            cache = CACHE_PRIVATE
+        elif cache is False:
+            cache = CACHE_OFF
+        if cache not in _CACHE_MODES:
+            raise ValueError(
+                f"cache must be one of {_CACHE_MODES} (or True/False), "
+                f"got {self.cache!r}"
+            )
+        object.__setattr__(self, "cache", cache)
+        if self.batch_chunk is not None and self.batch_chunk < 1:
+            raise ValueError("batch_chunk must be a positive integer")
+        if self.pes < 1 or self.pes & (self.pes - 1):
+            raise ValueError("pes must be a power of two")
+        if self.fidelity not in ("fast", "datapath"):
+            raise ValueError(
+                f"fidelity must be 'fast' or 'datapath', got {self.fidelity!r}"
+            )
+        if self.coefficient_bits < 1:
+            raise ValueError("coefficient_bits must be positive")
+
+    @classmethod
+    def default(cls, **overrides: object) -> "ExecutionConfig":
+        """The stock configuration, with the environment consulted once.
+
+        Equivalent to ``ExecutionConfig(**overrides)``; exists to make
+        the construction-time environment read explicit at call sites:
+        ``ExecutionConfig.default()`` is the moment ``REPRO_NTT_KERNEL``
+        is read, not every later ``plan`` / ``multiply`` call.
+        """
+        return cls(**overrides)  # type: ignore[arg-type]
+
+    def with_overrides(self, **overrides: object) -> "ExecutionConfig":
+        """A copy with the given fields replaced (validation re-run)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "ExecutionConfig",
+    "CACHE_PRIVATE",
+    "CACHE_SHARED",
+    "CACHE_OFF",
+    "KERNEL_ENV_VAR",
+    "available_kernels",
+]

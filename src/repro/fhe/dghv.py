@@ -18,7 +18,10 @@ Every ciphertext-by-ciphertext product goes through the instance's
 ``multiplier`` strategy — a plain callable ``(int, int) -> int`` — so
 the same scheme runs on Python ints, on :class:`repro.ssa.SSAMultiplier`
 or on the accelerator model, which is how the benchmarks measure the
-paper's workload end to end.
+paper's workload end to end.  The preferred way to build a scheme is
+:meth:`repro.engine.Engine.fhe`, which injects an engine-backed
+strategy (batched SSA on ``software``, cycle-counted products on
+``hw-model``) automatically.
 """
 
 from __future__ import annotations

@@ -84,8 +84,9 @@ def _product_batch(
     """Batched big-int products through a multiplier strategy.
 
     Uses the strategy's ``multiply_many`` when one is reachable: on
-    the callable itself, or on the object a bound ``multiply`` method
-    belongs to (the ``SSAMultiplier`` case) — but only when
+    the callable itself (the ``SSAMultiplier`` /
+    :class:`repro.engine.EngineMultiplier` case), or on the object a
+    bound ``multiply`` method belongs to — but only when
     ``multiply`` and ``multiply_many`` are defined by the same class,
     so a subclass that overrides one without the other (instrumented
     or clamped ``multiply``, say) is never silently bypassed.

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.field.solinas import P
 from repro.field.vector import vadd, vmul, vsub, to_field_array
+from repro.ntt.plan import TransformPlan
 from repro.ntt.negacyclic import (
     negacyclic_convolution,
     negacyclic_convolution_broadcast,
@@ -70,10 +71,21 @@ class RLWE:
         self,
         params: RLWEParams = RLWEParams(),
         rng: Optional[random.Random] = None,
+        plan: Optional[TransformPlan] = None,
     ):
+        """``plan`` (optional) pins every ring product to a prebuilt
+        transform plan — this is how :meth:`repro.engine.Engine.fhe`
+        binds an RLWE context to a per-engine plan cache and kernel.
+        ``None`` keeps the historical behaviour (the module-global
+        plan cache, consulted per convolution)."""
         params.validate()
+        if plan is not None and plan.n != params.n:
+            raise ValueError(
+                f"plan is {plan.n}-point but the ring dimension is {params.n}"
+            )
         self.params = params
         self.rng = rng or random.Random()
+        self.plan = plan
 
     # -- key and noise sampling -----------------------------------------
 
@@ -108,14 +120,14 @@ class RLWE:
             raise ValueError("message coefficients must lie in [0, t)")
         a = self._uniform()
         scaled = to_field_array([params.delta * m for m in message])
-        a_s = negacyclic_convolution(a, secret)
+        a_s = negacyclic_convolution(a, secret, self.plan)
         c0 = vadd(vsub(scaled, a_s), self._noise())
         return RLWECiphertext(c0=c0, c1=a, params=params)
 
     def decrypt(self, secret: np.ndarray, ct: RLWECiphertext) -> List[int]:
         """Recover the message: round ``(c0 + c1·s)·t/q``."""
         params = self.params
-        phase = vadd(ct.c0, negacyclic_convolution(ct.c1, secret))
+        phase = vadd(ct.c0, negacyclic_convolution(ct.c1, secret, self.plan))
         out = []
         for coeff in phase:
             m = (int(coeff) * params.t + P // 2) // P
@@ -154,7 +166,7 @@ class RLWE:
                 for message in messages
             ]
         )
-        a_s = negacyclic_convolution_broadcast(a, secret)
+        a_s = negacyclic_convolution_broadcast(a, secret, self.plan)
         c0 = vadd(vsub(scaled, a_s), noise)
         return [
             RLWECiphertext(c0=c0[i], c1=a[i], params=params)
@@ -174,7 +186,7 @@ class RLWE:
             return []
         c0 = np.vstack([ct.c0 for ct in cts])
         c1 = np.vstack([ct.c1 for ct in cts])
-        phase = vadd(c0, negacyclic_convolution_broadcast(c1, secret))
+        phase = vadd(c0, negacyclic_convolution_broadcast(c1, secret, self.plan))
         return [
             [
                 (int(coeff) * params.t + P // 2) // P % params.t
@@ -205,8 +217,8 @@ class RLWE:
             raise ValueError("plaintext length mismatch")
         poly = to_field_array(plain)
         return RLWECiphertext(
-            c0=negacyclic_convolution(ct.c0, poly),
-            c1=negacyclic_convolution(ct.c1, poly),
+            c0=negacyclic_convolution(ct.c0, poly, self.plan),
+            c1=negacyclic_convolution(ct.c1, poly, self.plan),
             params=ct.params,
         )
 
@@ -236,11 +248,14 @@ class RLWE:
         stacked = np.vstack(
             [np.vstack([ct.c0 for ct in cts]), np.vstack([ct.c1 for ct in cts])]
         )
-        spectra = negacyclic_transform_many(np.vstack([stacked, polys]))
+        spectra = negacyclic_transform_many(
+            np.vstack([stacked, polys]), self.plan
+        )
         ct_spectra = spectra[: 2 * batch]
         plain_spectra = spectra[2 * batch :]
         products = negacyclic_inverse_many(
-            vmul(ct_spectra, np.vstack([plain_spectra, plain_spectra]))
+            vmul(ct_spectra, np.vstack([plain_spectra, plain_spectra])),
+            self.plan,
         )
         return [
             RLWECiphertext(

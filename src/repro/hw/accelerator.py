@@ -174,6 +174,13 @@ class HEAccelerator:
             ModularMultiplier(name=f"dotmul{i}")
             for i in range(DOT_PRODUCT_MULTIPLIERS)
         ]
+        # Two ping-pong stage buffers, shared by every transform this
+        # accelerator runs (the staged executor's allocation discipline):
+        # each stage reads one buffer and writes the other, so a
+        # transform allocates nothing per stage, and repeated transforms
+        # (an engine-resident accelerator serving a workload) allocate
+        # nothing at all.  Allocated lazily on the first transform.
+        self._stage_buffers: Optional[Tuple[np.ndarray, np.ndarray]] = None
         for radix, count in self.plan.sub_transform_counts():
             if count % pes:
                 raise ValueError(
@@ -184,6 +191,23 @@ class HEAccelerator:
     @property
     def pe_count(self) -> int:
         return len(self.pes)
+
+    def _stage_output(self, data: np.ndarray) -> np.ndarray:
+        """The reusable buffer the next stage writes (never ``data``).
+
+        Ping-pongs between the two persistent stage buffers; the one
+        currently holding the stage input (``data`` may be a reshaped
+        view of it) is skipped, so kernels never read what they write.
+        """
+        if self._stage_buffers is None:
+            self._stage_buffers = (
+                np.empty(self.plan.n, dtype=np.uint64),
+                np.empty(self.plan.n, dtype=np.uint64),
+            )
+        for buffer in self._stage_buffers:
+            if not np.shares_memory(buffer, data):
+                return buffer
+        raise AssertionError("both stage buffers alias the stage input")
 
     # -- ownership / communication ---------------------------------------
 
@@ -321,12 +345,11 @@ class HEAccelerator:
                     )
             cycle_cursor += compute
 
+        # Fancy indexing copies, so the caller never holds a view of the
+        # reusable stage buffers.
         out = data[plan.output_permutation]
         if inverse:
-            from repro.field.solinas import inverse as field_inverse
-
-            n_inv = np.uint64(field_inverse(plan.n))
-            out = vmul(out, np.full(plan.n, n_inv, dtype=np.uint64))
+            vmul(out, np.broadcast_to(plan.n_inv, out.shape), out=out)
         return out, report
 
     def _run_stage_fast(
@@ -336,12 +359,14 @@ class HEAccelerator:
 
         Dispatches on the plan's kernel backend, so the functional
         model rides the same limb-matmul fast path as the library NTT.
+        Writes into the accelerator's persistent ping-pong buffers
+        instead of allocating per stage.
         """
         length, radix, tail = self._stage_geometry(plan, index)
         stage = plan.stages[index]
         blocks = plan.n // length
         view = data.reshape(blocks, radix, tail)
-        out = np.empty_like(view)
+        out = self._stage_output(data).reshape(blocks, radix, tail)
         stage_executor(plan.kernel or None)(view, stage, out)
         if stage.twiddles is not None:
             vmul(out, stage.twiddles[np.newaxis, :, :], out=out)
@@ -370,7 +395,10 @@ class HEAccelerator:
         length, radix, tail = self._stage_geometry(plan, index)
         stage = plan.stages[index]
         blocks = plan.n // length
-        out = np.zeros_like(data)
+        # Every work item writes its own ``radix`` positions and the
+        # items tile all of [0, n), so the reused buffer needs no
+        # zero-fill.
+        out = self._stage_output(data)
         work_total = blocks * tail
         per_pe = work_total // self.pe_count
         for work in range(work_total):

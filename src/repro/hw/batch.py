@@ -172,6 +172,7 @@ def measure_software_batch(
     count: int = 32,
     seed: int = 0,
     timing: AcceleratorTiming = PAPER_TIMING,
+    engine=None,
 ) -> ThroughputComparison:
     """Time looped vs batched SSA multiplication on ``count`` products.
 
@@ -180,13 +181,20 @@ def measure_software_batch(
     multiplication and looped ``multiply`` before the timing is
     reported, and the modeled speedup comes from
     :func:`schedule_batch` on the same batch size.
+
+    ``engine`` (an optional :class:`repro.engine.Engine`) supplies the
+    multiplier — and with it the engine's kernel and plan cache; by
+    default a standalone :class:`SSAMultiplier` is sized for ``bits``.
     """
     from repro.ssa.multiplier import SSAMultiplier
 
     if count < 1:
         raise ValueError("count must be positive")
     rng = random.Random(seed)
-    multiplier = SSAMultiplier.for_bits(bits)
+    if engine is not None:
+        multiplier = engine.multiplier(bits=bits)
+    else:
+        multiplier = SSAMultiplier.for_bits(bits)
     pairs = [
         (rng.getrandbits(bits), rng.getrandbits(bits)) for _ in range(count)
     ]

@@ -39,8 +39,10 @@ from repro.ntt.kernels import (
     stage_dft_loop,
 )
 from repro.ntt.plan import (
-    TransformPlan,
+    DEFAULT_PLAN_CACHE,
+    PlanCache,
     PlanCacheStats,
+    TransformPlan,
     clear_plan_cache,
     paper_64k_plan,
     plan_cache_stats,
@@ -63,6 +65,7 @@ from repro.ntt.negacyclic import (
     negacyclic_convolution_many,
     negacyclic_inverse_many,
     negacyclic_transform_many,
+    twist_tables,
 )
 
 __all__ = [
@@ -86,7 +89,9 @@ __all__ = [
     "stage_dft_limb_matmul",
     "stage_dft_loop",
     "TransformPlan",
+    "PlanCache",
     "PlanCacheStats",
+    "DEFAULT_PLAN_CACHE",
     "clear_plan_cache",
     "paper_64k_plan",
     "plan_cache_stats",
@@ -103,4 +108,5 @@ __all__ = [
     "negacyclic_convolution_many",
     "negacyclic_inverse_many",
     "negacyclic_transform_many",
+    "twist_tables",
 ]

@@ -26,8 +26,13 @@ from repro.ntt.staged import execute_plan_batch, execute_plan_inverse_batch
 
 
 @lru_cache(maxsize=None)
-def _twist_tables(n: int) -> Tuple[np.ndarray, np.ndarray]:
-    """(ψ^i, ψ^{-i}·n^{-1}) tables for the forward and inverse twist."""
+def twist_tables(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``(ψ^i, ψ^{-i})`` tables for the forward and inverse twist.
+
+    Public so backend-polymorphic callers (notably
+    :class:`repro.engine.Ring`) can wrap any plain cyclic transform
+    into a negacyclic one; the tables are cached per ``n``.
+    """
     psi = root_of_unity(2 * n)
     if pow_mod(psi, 2) != root_of_unity(n):
         raise ArithmeticError("psi is not a square root of omega")
@@ -41,6 +46,10 @@ def _twist_tables(n: int) -> Tuple[np.ndarray, np.ndarray]:
         f = f * psi % P
         b = b * psi_inv % P
     return forward, backward
+
+
+#: Back-compat alias (pre-engine internal name).
+_twist_tables = twist_tables
 
 
 def negacyclic_convolution(
@@ -140,7 +149,7 @@ def negacyclic_transform_many(
         plan = plan_for_size(n)
     if plan.n != n:
         raise ValueError("plan size does not match input length")
-    forward, _ = _twist_tables(n)
+    forward, _ = twist_tables(n)
     return execute_plan_batch(vmul(polys, forward[np.newaxis, :]), plan)
 
 
@@ -156,7 +165,7 @@ def negacyclic_inverse_many(
         plan = plan_for_size(n)
     if plan.n != n:
         raise ValueError("plan size does not match input length")
-    _, backward = _twist_tables(n)
+    _, backward = twist_tables(n)
     product = execute_plan_inverse_batch(spectra, plan)
     # `product` is freshly owned by this call: untwist in place.
     return vmul(product, backward[np.newaxis, :], out=product)

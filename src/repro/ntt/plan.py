@@ -182,37 +182,106 @@ def _build(
     )
 
 
-_PLAN_CACHE: Dict[Tuple[int, Tuple[int, ...], int, str], TransformPlan] = {}
-_CACHE_HITS = 0
-_CACHE_MISSES = 0
-
-
 @dataclass(frozen=True)
 class PlanCacheStats:
-    """Occupancy and hit/miss counters of the module-global plan cache."""
+    """Occupancy and hit/miss counters of a plan cache."""
 
     size: int
     hits: int
     misses: int
 
 
+class PlanCache:
+    """A keyed store of built :class:`TransformPlan` objects.
+
+    Keys are ``(n, radices, omega, kernel)``; a hit returns the very
+    same plan object, so precomputed DFT matrices, twiddle tables and
+    limb planes are shared by every caller of the cache.
+
+    Historically the library kept one module-global cache; the
+    :class:`repro.engine.Engine` façade now owns a *per-engine*
+    instance, and the module-level :func:`plan_for_size` /
+    :func:`clear_plan_cache` / :func:`plan_cache_stats` helpers keep
+    working against a default instance for legacy callers.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[
+            Tuple[int, Tuple[int, ...], int, str], TransformPlan
+        ] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def stats(self) -> PlanCacheStats:
+        """Snapshot of this cache (size, hits, misses)."""
+        return PlanCacheStats(
+            size=len(self._plans), hits=self._hits, misses=self._misses
+        )
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the hit/miss counters.
+
+        Long-running sweeps build one plan per (size, radices, omega)
+        triple; this bounds the memory they pin.
+        """
+        self._plans.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def plan_for_size(
+        self,
+        n: int,
+        radices: Optional[Sequence[int]] = None,
+        omega: Optional[int] = None,
+        kernel: Optional[str] = None,
+    ) -> TransformPlan:
+        """Build (and cache) a plan for an ``n``-point transform.
+
+        ``radices`` defaults to greedy radix-64 stages with one smaller
+        final stage, mirroring the paper's preference for high radices.
+        The returned plan carries a matching ``inverse_plan``.
+
+        ``kernel`` pins the stage-DFT backend (``"loop"`` or
+        ``"limb-matmul"``); ``None`` resolves through the
+        ``REPRO_NTT_KERNEL`` environment variable, defaulting to
+        ``limb-matmul``.
+        """
+        if n & (n - 1) or n == 0:
+            raise ValueError("transform size must be a power of two")
+        if omega is None:
+            omega = root_of_unity(n)
+        if radices is None:
+            radices = _default_radices(n)
+        kernel = resolve_kernel(kernel)
+        key = (n, tuple(radices), omega, kernel)
+        plan = self._plans.get(key)
+        if plan is None:
+            self._misses += 1
+            plan = _build(n, tuple(radices), omega, kernel)
+            backward = _build(n, tuple(radices), inverse(omega), kernel)
+            object.__setattr__(plan, "inverse_plan", backward)
+            self._plans[key] = plan
+        else:
+            self._hits += 1
+        return plan
+
+
+#: The default cache behind the module-level helpers (and behind the
+#: shared-cache engines, see ``ExecutionConfig.cache``).
+DEFAULT_PLAN_CACHE = PlanCache()
+
+
 def plan_cache_stats() -> PlanCacheStats:
-    """Snapshot of the plan cache (size, hits, misses)."""
-    return PlanCacheStats(
-        size=len(_PLAN_CACHE), hits=_CACHE_HITS, misses=_CACHE_MISSES
-    )
+    """Snapshot of the default plan cache (size, hits, misses)."""
+    return DEFAULT_PLAN_CACHE.stats()
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan and reset the hit/miss counters.
-
-    Long-running sweeps build one plan per (size, radices, omega)
-    triple; this bounds the memory they pin.
-    """
-    global _CACHE_HITS, _CACHE_MISSES
-    _PLAN_CACHE.clear()
-    _CACHE_HITS = 0
-    _CACHE_MISSES = 0
+    """Clear the default plan cache (see :meth:`PlanCache.clear`)."""
+    DEFAULT_PLAN_CACHE.clear()
 
 
 def plan_for_size(
@@ -221,45 +290,33 @@ def plan_for_size(
     omega: Optional[int] = None,
     kernel: Optional[str] = None,
 ) -> TransformPlan:
-    """Build (and cache) a plan for an ``n``-point transform.
-
-    ``radices`` defaults to greedy radix-64 stages with one smaller
-    final stage, mirroring the paper's preference for high radices.
-    The returned plan carries a matching ``inverse_plan``.
-
-    ``kernel`` pins the stage-DFT backend (``"loop"`` or
-    ``"limb-matmul"``); ``None`` resolves through the
-    ``REPRO_NTT_KERNEL`` environment variable, defaulting to
-    ``limb-matmul``.
-    """
-    if n & (n - 1) or n == 0:
-        raise ValueError("transform size must be a power of two")
-    if omega is None:
-        omega = root_of_unity(n)
-    if radices is None:
-        radices = _default_radices(n)
-    kernel = resolve_kernel(kernel)
-    global _CACHE_HITS, _CACHE_MISSES
-    key = (n, tuple(radices), omega, kernel)
-    if key not in _PLAN_CACHE:
-        _CACHE_MISSES += 1
-        forward = _build(n, tuple(radices), omega, kernel)
-        backward = _build(n, tuple(radices), inverse(omega), kernel)
-        object.__setattr__(forward, "inverse_plan", backward)
-        _PLAN_CACHE[key] = forward
-    else:
-        _CACHE_HITS += 1
-    return _PLAN_CACHE[key]
+    """Build a plan in the default cache (see
+    :meth:`PlanCache.plan_for_size`)."""
+    return DEFAULT_PLAN_CACHE.plan_for_size(n, radices, omega, kernel)
 
 
 def _default_radices(n: int) -> Tuple[int, ...]:
-    radices: List[int] = []
-    remaining = n
-    while remaining > 64:
-        radices.append(64)
-        remaining //= 64
-    radices.append(remaining)
-    return tuple(radices)
+    """Greedy high-radix factorization, shift-only friendly.
+
+    Prefers radix 64 (the paper's choice) and keeps every stage radix
+    in the hardware's shift-only set ``{8, 16, 32, 64}`` whenever
+    ``n ≥ 8``, so default plans always run on the FFT-64 unit model —
+    a trailing remainder of 2 or 4 is absorbed by splitting the last
+    radix-64 stage (e.g. 128 = 16·8, not 64·2).  Transforms smaller
+    than 8 points get the single radix ``n``.
+    """
+    k = n.bit_length() - 1  # n = 2**k
+    if k < 3:
+        return (n,)
+    q, r = divmod(k, 6)
+    if r == 0:
+        exponents = [6] * q
+    elif r >= 3:
+        exponents = [6] * q + [r]
+    else:  # r in (1, 2): split the last 64·2**r as 2**4 · 2**(2+r)
+        exponents = [6] * (q - 1) + [4, 2 + r]
+    exponents.sort(reverse=True)
+    return tuple(1 << e for e in exponents)
 
 
 def paper_64k_plan() -> TransformPlan:

@@ -27,6 +27,11 @@ remaining per-stage overhead across the whole batch.
 vector (the historical API, returned flat) or a ``(batch, n)`` matrix;
 the single-vector path is a thin ``batch=1`` wrapper and is bit-exact
 against :func:`repro.ntt.reference.dft_reference`.
+
+These functions are the ``software`` compute backend of the
+:class:`repro.engine.Engine` façade; prefer ``engine.ring(n)`` for new
+code — it is the same executor behind a shape-polymorphic surface with
+per-engine plan caching.
 """
 
 from __future__ import annotations

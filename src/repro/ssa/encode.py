@@ -68,6 +68,28 @@ class SSAParameters:
 PAPER_PARAMETERS = SSAParameters(coefficient_bits=24, operand_coefficients=32768)
 
 
+def params_for_bits(
+    operand_bits: int,
+    coefficient_bits: int = 24,
+    min_coefficients: int = 1,
+) -> SSAParameters:
+    """Size an :class:`SSAParameters` for ``operand_bits`` operands.
+
+    Rounds the coefficient count up to the next power of two (so the
+    transform size stays a power of two), never below
+    ``min_coefficients`` — the one sizing rule shared by
+    :meth:`repro.ssa.SSAMultiplier.for_bits` and
+    :meth:`repro.engine.Engine.multiplier`.
+    """
+    count = -(-max(operand_bits, 1) // coefficient_bits)
+    size = max(1, min_coefficients)
+    while size < count:
+        size *= 2
+    return SSAParameters(
+        coefficient_bits=coefficient_bits, operand_coefficients=size
+    )
+
+
 def decompose(value: int, params: SSAParameters) -> np.ndarray:
     """Split ``value`` into ``transform_size`` coefficients of ``m`` bits.
 

@@ -33,6 +33,7 @@ from repro.ssa.encode import (
     SSAParameters,
     decompose,
     decompose_many,
+    params_for_bits,
     recompose,
     recompose_many,
 )
@@ -55,6 +56,11 @@ class SSAMultiplier:
         ``"limb-matmul"``); ``None`` resolves through the
         ``REPRO_NTT_KERNEL`` environment variable, defaulting to
         ``limb-matmul``.
+    plan:
+        A prebuilt :class:`~repro.ntt.plan.TransformPlan` to use
+        instead of consulting the module-global plan cache — this is
+        how :class:`repro.engine.Engine` pins its multipliers to a
+        per-engine cache.  Must match ``params.transform_size``.
 
     Examples
     --------
@@ -66,15 +72,38 @@ class SSAMultiplier:
     params: SSAParameters = PAPER_PARAMETERS
     radices: Optional[Sequence[int]] = None
     kernel: Optional[str] = None
-    _plan: TransformPlan = field(init=False, repr=False)
+    plan: Optional[TransformPlan] = field(
+        default=None, repr=False, compare=False
+    )
+    _plan: TransformPlan = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.params.validate()
+        if self.plan is not None:
+            if self.plan.n != self.params.transform_size:
+                raise ValueError(
+                    f"plan is {self.plan.n}-point but params need "
+                    f"{self.params.transform_size}"
+                )
+            if self.radices is not None and self.plan.radices != tuple(
+                self.radices
+            ):
+                raise ValueError("plan radices disagree with radices=")
+            if self.kernel is not None and self.plan.kernel != self.kernel:
+                raise ValueError(
+                    f"plan runs the {self.plan.kernel!r} kernel but "
+                    f"kernel={self.kernel!r} was requested"
+                )
+            self._plan = self.plan
+            return
         self._plan = plan_for_size(
             self.params.transform_size,
             tuple(self.radices) if self.radices is not None else None,
             kernel=self.kernel,
         )
+        # ``plan`` doubles as the public accessor (it used to be a
+        # read-only property); after init it always holds the live plan.
+        self.plan = self._plan
 
     @classmethod
     def for_bits(
@@ -86,23 +115,13 @@ class SSAMultiplier:
         """Build a multiplier able to handle ``operand_bits`` operands.
 
         Rounds the coefficient count up to the next power of two so the
-        transform size stays a power of two.
+        transform size stays a power of two
+        (:func:`repro.ssa.encode.params_for_bits`).
         """
-        count = -(-operand_bits // coefficient_bits)
-        size = 1
-        while size < count:
-            size *= 2
         return cls(
-            params=SSAParameters(
-                coefficient_bits=coefficient_bits, operand_coefficients=size
-            ),
+            params=params_for_bits(operand_bits, coefficient_bits),
             kernel=kernel,
         )
-
-    @property
-    def plan(self) -> TransformPlan:
-        """The NTT plan in use (exposed for the hardware model)."""
-        return self._plan
 
     def forward_transform(self, value: int) -> np.ndarray:
         """Decompose an operand and return its NTT spectrum."""

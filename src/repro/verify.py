@@ -13,7 +13,9 @@ before trusting any number the library prints:
 6. the distributed accelerator (datapath fidelity) against the
    executor;
 7. the analytic timing against the paper's headline numbers;
-8. a DGHV encrypt–evaluate–decrypt roundtrip.
+8. a DGHV encrypt–evaluate–decrypt roundtrip;
+9. the Engine façade: ``software`` vs ``hw-model`` backend products
+   bit-identical, ring scalar/batch polymorphism consistent.
 """
 
 from __future__ import annotations
@@ -177,6 +179,34 @@ def _check_fhe() -> CheckResult:
     return CheckResult("DGHV encrypt/XOR/AND/decrypt truth tables", ok)
 
 
+def _check_engine() -> CheckResult:
+    import numpy as np
+
+    from repro.engine import Engine
+    from repro.field.solinas import P
+
+    rng = random.Random(7)
+    a, b = rng.getrandbits(4096), rng.getrandbits(4096)
+    software = Engine()
+    hardware = Engine(backend="hw-model")
+    products_match = (
+        software.multiply(a, b) == hardware.multiply(a, b) == a * b
+    )
+    ring = software.ring(256)
+    rows = np.array(
+        [[rng.randrange(P) for _ in range(256)] for _ in range(3)],
+        dtype=np.uint64,
+    )
+    spectra = ring.forward(rows)
+    ring_match = all(
+        np.array_equal(spectra[i], ring.forward(rows[i])) for i in range(3)
+    ) and np.array_equal(ring.inverse(spectra), rows)
+    return CheckResult(
+        "Engine backends bit-identical; ring scalar/batch consistent",
+        products_match and ring_match,
+    )
+
+
 CHECKS: List[Callable[[], CheckResult]] = [
     _check_field,
     _check_vector,
@@ -186,6 +216,7 @@ CHECKS: List[Callable[[], CheckResult]] = [
     _check_accelerator,
     _check_timing,
     _check_fhe,
+    _check_engine,
 ]
 
 
