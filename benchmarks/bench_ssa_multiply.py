@@ -4,7 +4,10 @@ Standalone benchmark (also importable under pytest) timing
 ``Engine().multiply`` on the software backend: the paper's single
 786,432-bit product plus looped-vs-batched throughput at service-like
 batch sizes — every measurement cross-checked bit-exact against
-Python's big integers.  Results go to two places:
+Python's big integers.  Batched cases additionally time the jobs API
+(looped ``JobScheduler.submit`` vs chunked ``JobScheduler.map``) and
+cross-check the ``software-mp`` sharding backend bit-identical against
+``software``.  Results go to two places:
 
 - ``BENCH_ssa_multiply.json`` at the repo root — the machine-readable
   perf-trajectory point (SSA-multiply series, one point per PR);
@@ -37,7 +40,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.engine import Engine  # noqa: E402
+from repro.engine import Engine, ExecutionConfig  # noqa: E402
+from repro.jobs import MultiplyJob  # noqa: E402
 
 DEFAULT_JSON = REPO_ROOT / "BENCH_ssa_multiply.json"
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
@@ -47,6 +51,11 @@ OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 #: the sizes tiny.
 FULL_MIN_SPEEDUP = 1.0
 SMOKE_MIN_SPEEDUP = 0.5
+#: ``JobScheduler.map`` must beat looped per-pair submission (the
+#: acceptance gate holds on >= 2 cores; single-core boxes still record
+#: the numbers but only the lenient floor is enforced).
+JOBS_MIN_SPEEDUP = 1.0
+JOBS_MIN_SPEEDUP_1CORE = 0.5
 
 
 def _best_time(fn, repeats: int) -> float:
@@ -59,13 +68,24 @@ def _best_time(fn, repeats: int) -> float:
 
 
 def run_case(
-    engine: Engine, bits: int, count: int, repeats: int, seed: int
+    engine: Engine,
+    bits: int,
+    count: int,
+    repeats: int,
+    seed: int,
+    mp_engine: Optional[Engine] = None,
 ) -> dict:
-    """Time looped vs batched products of one ``(bits, count)`` point."""
+    """Time looped vs batched products of one ``(bits, count)`` point.
+
+    Batched cases also time the jobs API — per-pair ``submit`` loops
+    vs chunked ``map`` over the same series — and, when ``mp_engine``
+    is given, cross-check the ``software-mp`` products bit-identical.
+    """
     rng = random.Random(seed)
     left = [rng.getrandbits(bits) for _ in range(count)]
     right = [rng.getrandbits(bits) for _ in range(count)]
-    truth = [a * b for a, b in zip(left, right)]
+    pairs = list(zip(left, right))
+    truth = [a * b for a, b in pairs]
 
     batched = engine.multiply(left, right)  # warm plans + verify
     looped = [engine.multiply(a, b) for a, b in zip(left, right)]
@@ -76,7 +96,7 @@ def run_case(
         repeats,
     )
     batched_s = _best_time(lambda: engine.multiply(left, right), repeats)
-    return {
+    entry = {
         "bits": bits,
         "count": count,
         "looped_s": looped_s,
@@ -85,6 +105,35 @@ def run_case(
         "batched_ops_per_s": count / batched_s,
         "bit_exact": bit_exact,
     }
+
+    if mp_engine is not None:
+        entry["mp_bit_identical"] = (
+            mp_engine.multiply(left, right) == truth
+        )
+
+    if count > 1:
+        scheduler = engine.scheduler()
+
+        def submit_looped():
+            handles = [
+                scheduler.submit(MultiplyJob.of(a, b)) for a, b in pairs
+            ]
+            return [h.result()[0] for h in handles]
+
+        def submit_map():
+            return scheduler.map("multiply", pairs)
+
+        jobs_exact = submit_looped() == truth and submit_map() == truth
+        jobs_looped_s = _best_time(submit_looped, repeats)
+        jobs_map_s = _best_time(submit_map, repeats)
+        entry["jobs"] = {
+            "looped_submit_s": jobs_looped_s,
+            "map_s": jobs_map_s,
+            "map_speedup": jobs_looped_s / jobs_map_s,
+            "map_ops_per_s": count / jobs_map_s,
+            "bit_exact": jobs_exact,
+        }
+    return entry
 
 
 def render_table(results: List[dict]) -> str:
@@ -101,50 +150,112 @@ def render_table(results: List[dict]) -> str:
             f"{r['batched_ops_per_s']:>10.1f} "
             f"{'yes' if r['bit_exact'] else 'NO':>6}"
         )
+    jobs_rows = [r for r in results if "jobs" in r]
+    if jobs_rows:
+        lines += [
+            "",
+            "jobs API: looped JobScheduler.submit vs chunked .map",
+            "",
+            f"{'bits':>8} {'count':>6} {'submit s':>10} {'map s':>10} "
+            f"{'speedup':>8} {'ops/s':>10} {'exact':>6}",
+        ]
+        for r in jobs_rows:
+            j = r["jobs"]
+            lines.append(
+                f"{r['bits']:>8} {r['count']:>6} "
+                f"{j['looped_submit_s']:>10.4f} {j['map_s']:>10.4f} "
+                f"{j['map_speedup']:>7.2f}x {j['map_ops_per_s']:>10.1f} "
+                f"{'yes' if j['bit_exact'] else 'NO':>6}"
+            )
+    if any("mp_bit_identical" in r for r in results):
+        identical = all(
+            r.get("mp_bit_identical", True) for r in results
+        )
+        lines += [
+            "",
+            "software-mp vs software: "
+            + ("bit-identical" if identical else "DIVERGED"),
+        ]
     return "\n".join(lines)
 
 
 def evaluate(results: List[dict], smoke: bool) -> List[str]:
     """Gate failures (empty list == pass)."""
+    import os
+
     floor = SMOKE_MIN_SPEEDUP if smoke else FULL_MIN_SPEEDUP
+    # The map-vs-looped-submission gate is the acceptance criterion on
+    # multi-core hosts; single-core boxes only enforce a sanity floor.
+    jobs_floor = (
+        JOBS_MIN_SPEEDUP
+        if (os.cpu_count() or 1) >= 2 and not smoke
+        else JOBS_MIN_SPEEDUP_1CORE
+    )
     failures = []
     for r in results:
         tag = f"bits={r['bits']} count={r['count']}"
         if not r["bit_exact"]:
             failures.append(f"{tag}: products diverged from big-int truth")
+        if not r.get("mp_bit_identical", True):
+            failures.append(
+                f"{tag}: software-mp diverged from the software backend"
+            )
         if r["count"] > 1 and r["speedup"] < floor:
             failures.append(
                 f"{tag}: batched path regressed to "
                 f"{r['speedup']:.2f}x (< {floor}x looped)"
             )
+        jobs = r.get("jobs")
+        if jobs is not None:
+            if not jobs["bit_exact"]:
+                failures.append(
+                    f"{tag}: jobs API diverged from big-int truth"
+                )
+            if jobs["map_speedup"] < jobs_floor:
+                failures.append(
+                    f"{tag}: JobScheduler.map regressed to "
+                    f"{jobs['map_speedup']:.2f}x "
+                    f"(< {jobs_floor}x looped submission)"
+                )
     return failures
 
 
 def run_suite(smoke: bool, repeats: Optional[int], seed: int) -> dict:
+    import os
+
     engine = Engine()
+    mp_engine = Engine(backend="software-mp")
     if smoke:
         cases = [(2048, 1), (2048, 8)]
         repeats = repeats or 2
     else:
         cases = [(786_432, 1), (4096, 32), (16384, 16)]
         repeats = repeats or 3
-    results = [
-        run_case(engine, bits, count, repeats, seed + i)
-        for i, (bits, count) in enumerate(cases)
-    ]
+    try:
+        results = [
+            run_case(
+                engine, bits, count, repeats, seed + i, mp_engine=mp_engine
+            )
+            for i, (bits, count) in enumerate(cases)
+        ]
+    finally:
+        mp_engine.close()
+        engine.close()
     failures = evaluate(results, smoke)
     return {
         "benchmark": "ssa_multiply",
-        "schema_version": 1,
+        "schema_version": 2,
         "mode": "smoke" if smoke else "full",
         "created_unix": time.time(),
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpus": os.cpu_count(),
         },
         "config": {
             "engine_kernel": engine.config.kernel,
+            "mp_workers": mp_engine.backend.workers(mp_engine),
             "repeats": repeats,
             "seed": seed,
             "timer": "best-of-repeats wall clock",

@@ -39,6 +39,13 @@ def _engine(args: argparse.Namespace, backend: str = "software"):
         overrides["kernel"] = args.kernel
     if getattr(args, "pes", None) is not None:
         overrides["pes"] = args.pes
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        overrides["workers"] = workers
+        # --workers implies the sharding backend unless one was named
+        # (workers=1 included: the user asked for the mp path).
+        if backend == "software":
+            backend = "software-mp"
     return Engine(config=ExecutionConfig(**overrides), backend=backend)
 
 
@@ -80,9 +87,17 @@ def _cmd_multiply(args: argparse.Namespace) -> None:
         engine = _engine(args, backend=args.backend or "software")
         operands_a = [rng.getrandbits(args.bits) for _ in range(args.count)]
         operands_b = [rng.getrandbits(args.bits) for _ in range(args.count)]
+        # Warm plans AND the full mp pool: one batch item per worker
+        # (floor 2 to cross the shard threshold), so process spawn and
+        # per-worker engine/plan builds stay out of the timed region.
+        workers_of = getattr(engine.backend, "workers", None)
+        warm_target = workers_of(engine) if workers_of else 2
+        warm = min(args.count, max(2, warm_target))
+        engine.multiply(operands_a[:warm], operands_b[:warm])
         start = time.perf_counter()
         products = engine.multiply(operands_a, operands_b)
         elapsed = time.perf_counter() - start
+        engine.close()
         ok = products == [a * b for a, b in zip(operands_a, operands_b)]
         status = "OK" if ok else "MISMATCH"
         print(
@@ -93,7 +108,10 @@ def _cmd_multiply(args: argparse.Namespace) -> None:
         if not ok:
             raise SystemExit(1)
         return
-    engine = _engine(args, backend=args.backend or "hw-model")
+    # --workers selects software-mp even for a single product (which
+    # then runs inline below the shard floor) — never silently ignored.
+    default_backend = "software" if args.workers is not None else "hw-model"
+    engine = _engine(args, backend=args.backend or default_backend)
     a = rng.getrandbits(args.bits)
     b = rng.getrandbits(args.bits)
     product, report = engine.multiply_with_report(a, b)
@@ -140,12 +158,16 @@ def _cmd_batch(args: argparse.Namespace) -> None:
 def _cmd_throughput(args: argparse.Namespace) -> None:
     from repro.hw.batch import measure_software_batch, schedule_batch
 
-    comparison = measure_software_batch(
-        bits=args.bits,
-        count=args.count,
-        seed=args.seed,
-        engine=_engine(args),
-    )
+    engine = _engine(args)
+    try:
+        comparison = measure_software_batch(
+            bits=args.bits,
+            count=args.count,
+            seed=args.seed,
+            engine=engine,
+        )
+    finally:
+        engine.close()
     print(comparison.render())
     print()
     print(schedule_batch(args.count).render())
@@ -204,11 +226,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pm.add_argument(
         "--backend",
-        choices=["software", "hw-model"],
+        choices=["software", "software-mp", "hw-model"],
         default=None,
         help=(
             "compute backend (default: hw-model with its cycle report "
-            "for a single product, software for --count > 1)"
+            "for a single product, software for --count > 1; "
+            "software-mp shards the batch over worker processes)"
+        ),
+    )
+    pm.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for software-mp (default: one per CPU); "
+            "setting it without --backend selects software-mp"
         ),
     )
     pm.set_defaults(func=_cmd_multiply)
@@ -229,6 +261,15 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--bits", type=int, default=4096)
     pt.add_argument("--count", type=int, default=32)
     pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "measure the batched path on the software-mp backend with "
+            "this many worker processes (default: single-process)"
+        ),
+    )
     pt.set_defaults(func=_cmd_throughput)
 
     pv = sub.add_parser("verify", help="run the end-to-end self-check")

@@ -26,9 +26,11 @@ Quickstart::
 from repro.engine.backends import (
     HW_MODEL,
     SOFTWARE,
+    SOFTWARE_MP,
     ComputeBackend,
     HardwareModelBackend,
     SoftwareBackend,
+    SoftwareMPBackend,
     available_backends,
     create_backend,
     register_backend,
@@ -40,6 +42,7 @@ from repro.engine.config import (
     ExecutionConfig,
 )
 from repro.engine.core import Engine, EngineMultiplier, default_engine
+from repro.engine.jobs import JobHandle, JobScheduler, as_completed
 from repro.engine.ring import Ring
 
 __all__ = [
@@ -47,14 +50,19 @@ __all__ = [
     "EngineMultiplier",
     "ExecutionConfig",
     "Ring",
+    "JobScheduler",
+    "JobHandle",
+    "as_completed",
     "ComputeBackend",
     "SoftwareBackend",
+    "SoftwareMPBackend",
     "HardwareModelBackend",
     "register_backend",
     "available_backends",
     "create_backend",
     "default_engine",
     "SOFTWARE",
+    "SOFTWARE_MP",
     "HW_MODEL",
     "CACHE_PRIVATE",
     "CACHE_SHARED",

@@ -20,17 +20,28 @@ and the two stock backends answer with identical bits:
     buffers) are cached per plan, so repeated workloads reuse both
     plans and buffers.
 
+``software-mp``
+    The software executor sharded over a persistent
+    :class:`concurrent.futures.ProcessPoolExecutor`: the batch axis of
+    ``multiply_many`` and of ``(batch, n)`` transforms is split into
+    balanced contiguous shards (:func:`repro.ssa.multiplier.split_batch`),
+    each worker rebuilds its engine from the pickled
+    :class:`~repro.engine.config.ExecutionConfig` and warms its own
+    plan cache once, and results are reassembled in submission order —
+    bit-identical to ``software``.
+
 Third-party backends register through :func:`register_backend` and are
 then constructible by name: ``Engine(backend="my-backend")``.
 """
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.config import CACHE_OFF
+from repro.engine.config import CACHE_OFF, ExecutionConfig
 from repro.ntt.plan import TransformPlan
 from repro.ntt.staged import execute_plan_batch, execute_plan_inverse_batch
 from repro.ssa.encode import SSAParameters
@@ -49,6 +60,7 @@ except ImportError:  # pragma: no cover - ancient interpreters
 
 
 SOFTWARE = "software"
+SOFTWARE_MP = "software-mp"
 HW_MODEL = "hw-model"
 
 
@@ -161,6 +173,147 @@ class SoftwareBackend:
         return products, None
 
 
+class SoftwareMPBackend(SoftwareBackend):
+    """Batch-axis sharding over a persistent worker-process pool.
+
+    The throughput backend for multi-core hosts: big batches of SSA
+    products and big ``(batch, n)`` transforms are split into balanced
+    contiguous shards (:func:`repro.ssa.multiplier.split_batch`), each
+    shard runs on one worker of a lazily created
+    :class:`~concurrent.futures.ProcessPoolExecutor`, and the ordered
+    reassembly is bit-identical to :class:`SoftwareBackend`.
+
+    Workers are initialized exactly once per pool with the engine's
+    pickled :class:`~repro.engine.config.ExecutionConfig`
+    (:func:`repro.engine.mp.initialize_worker`); their engines — and
+    therefore their plan caches — persist across shards.  Single
+    products, one-row transforms and batches below
+    :attr:`min_shard_items` run inline on the parent's software path,
+    where the inter-process copy would cost more than it buys.
+    """
+
+    name = SOFTWARE_MP
+    #: Below this many batch items the work runs inline (IPC floor).
+    min_shard_items = 2
+
+    def __init__(self, workers: Optional[int] = None):
+        import threading
+
+        self._workers_override = workers
+        self._pool = None
+        self._pool_key: Optional[Tuple[ExecutionConfig, int]] = None
+        # Guards pool create/replace/close: the engine is reachable
+        # from both the caller's thread and a scheduler's dispatcher
+        # thread, and an unsynchronized double-create would orphan a
+        # pool (its workers never shut down).
+        self._pool_lock = threading.Lock()
+
+    # -- pool management ---------------------------------------------------
+
+    def workers(self, engine: "Engine") -> int:
+        """Resolved worker count: override > config.workers > cpu_count."""
+        if self._workers_override is not None:
+            return self._workers_override
+        if engine.config.workers is not None:
+            return engine.config.workers
+        return os.cpu_count() or 1
+
+    def _pool_for(self, engine: "Engine"):
+        """The persistent pool for ``engine``'s config (built lazily).
+
+        Rebuilt only if the same backend instance is reused by an
+        engine with a different config — workers must mirror the
+        config they were initialized with.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.engine import mp as mp_workers
+
+        key = (engine.config, self.workers(engine))
+        with self._pool_lock:
+            if self._pool is not None and self._pool_key == key:
+                return self._pool
+            stale, self._pool = self._pool, None
+            self._pool_key = None
+            if stale is not None:
+                stale.shutdown(wait=True)
+            self._pool = ProcessPoolExecutor(
+                max_workers=key[1],
+                initializer=mp_workers.initialize_worker,
+                initargs=(engine.config,),
+            )
+            self._pool_key = key
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (it restarts lazily on next use)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._pool_key = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def clear(self) -> None:
+        """``Engine.clear_cache`` hook: drop the pool with the caches."""
+        self.close()
+
+    # -- sharded execution -------------------------------------------------
+
+    def _shards(self, engine: "Engine", count: int) -> List[slice]:
+        from repro.ssa.multiplier import split_batch
+
+        return split_batch(count, self.workers(engine))
+
+    def transform(
+        self,
+        engine: "Engine",
+        plan: TransformPlan,
+        values: np.ndarray,
+        inverse: bool = False,
+    ) -> np.ndarray:
+        batch = values.shape[0]
+        if self.workers(engine) <= 1 or batch < self.min_shard_items:
+            return super().transform(engine, plan, values, inverse=inverse)
+        from repro.engine import mp as mp_workers
+
+        pool = self._pool_for(engine)
+        futures = [
+            pool.submit(
+                mp_workers.transform_shard,
+                plan.n,
+                plan.radices,
+                values[rows],
+                inverse,
+            )
+            for rows in self._shards(engine, batch)
+        ]
+        return np.concatenate([f.result() for f in futures], axis=0)
+
+    def multiply_many(
+        self,
+        engine: "Engine",
+        multiplier: SSAMultiplier,
+        pairs: List[Tuple[int, int]],
+    ) -> Tuple[List[int], Optional[object]]:
+        if self.workers(engine) <= 1 or len(pairs) < self.min_shard_items:
+            return super().multiply_many(engine, multiplier, pairs)
+        from repro.engine import mp as mp_workers
+
+        pool = self._pool_for(engine)
+        futures = [
+            pool.submit(
+                mp_workers.multiply_shard,
+                multiplier.params,
+                pairs[shard],
+            )
+            for shard in self._shards(engine, len(pairs))
+        ]
+        products: List[int] = []
+        for future in futures:
+            products.extend(future.result())
+        return products, None
+
+
 class HardwareModelBackend:
     """The cycle-counted accelerator model as an engine backend.
 
@@ -251,16 +404,15 @@ class HardwareModelBackend:
         accelerator = self.accelerator(
             engine, plan, engine._params_for_plan(plan)
         )
-        out = np.empty_like(values)
-        reports = []
-        for row in range(values.shape[0]):
-            out[row], report = accelerator.distributed_ntt(
-                values[row],
-                inverse=inverse,
-                fidelity=engine.config.fidelity,
-            )
-            reports.append(report)
-        engine._record_report(reports if len(reports) != 1 else reports[0])
+        # One batched call: the whole row batch streams through the
+        # cycle model's macro-pipeline (no per-row Python loop on the
+        # fast fidelity).
+        out, report = accelerator.distributed_ntt_batch(
+            values, inverse=inverse, fidelity=engine.config.fidelity
+        )
+        engine._record_report(
+            report.per_row if report.rows == 1 else report
+        )
         return out
 
     def multiply(
@@ -295,15 +447,18 @@ class HardwareModelBackend:
 
 
 register_backend(SOFTWARE, SoftwareBackend)
+register_backend(SOFTWARE_MP, SoftwareMPBackend)
 register_backend(HW_MODEL, HardwareModelBackend)
 
 __all__ = [
     "ComputeBackend",
     "SoftwareBackend",
+    "SoftwareMPBackend",
     "HardwareModelBackend",
     "register_backend",
     "available_backends",
     "create_backend",
     "SOFTWARE",
+    "SOFTWARE_MP",
     "HW_MODEL",
 ]

@@ -70,6 +70,16 @@ class ExecutionConfig:
     coefficient_bits:
         SSA digit width used when the engine sizes a multiplier from an
         operand bit length (the paper uses 24).
+    workers:
+        Worker-process count for the ``software-mp`` backend (the
+        batch-axis sharding pool).  ``None`` asks for one worker per
+        CPU (``os.cpu_count()``); other backends ignore it.
+
+    A config is hashable and pickle-stable: the kernel name is resolved
+    (including the one-time environment read) at construction, so a
+    config shipped to a ``software-mp`` worker process reconstructs the
+    *same* engine regardless of the worker's environment, and
+    ``pickle.loads(pickle.dumps(cfg)) == cfg`` always holds.
     """
 
     kernel: Optional[str] = None
@@ -79,6 +89,7 @@ class ExecutionConfig:
     clock_ns: float = 5.0
     fidelity: str = "fast"
     coefficient_bits: int = 24
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         # The one and only environment read: resolve_kernel(None)
@@ -105,6 +116,8 @@ class ExecutionConfig:
             )
         if self.coefficient_bits < 1:
             raise ValueError("coefficient_bits must be positive")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be a positive integer or None")
 
     @classmethod
     def default(cls, **overrides: object) -> "ExecutionConfig":

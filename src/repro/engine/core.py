@@ -31,6 +31,7 @@ An engine owns:
 from __future__ import annotations
 
 import random
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -89,9 +90,31 @@ class Engine:
             self._plan_cache = PlanCache()
         self._rings: Dict[Tuple[int, Optional[Tuple[int, ...]]], Ring] = {}
         self._multipliers: Dict[SSAParameters, SSAMultiplier] = {}
-        #: Timing artifact of the most recent backend call (``None`` for
-        #: backends that do not produce one, e.g. ``software``).
-        self.last_report: Optional[object] = None
+        self._scheduler = None  # lazily built by scheduler()
+        # Per-thread report slots: the jobs dispatcher must never
+        # clobber (or inherit) the caller thread's report.  This keeps
+        # *reports* from cross-talking; it does NOT make concurrent
+        # compute on one engine safe — see last_report's docstring.
+        self._thread_reports = threading.local()
+
+    @property
+    def last_report(self) -> Optional[object]:
+        """Timing artifact of this thread's most recent backend call.
+
+        ``None`` for backends that do not produce one (``software``).
+        The slot is per-thread so a completed job's report
+        (:attr:`repro.engine.jobs.JobHandle.report`) is exactly the
+        job's own, never the caller's.  Note this isolation covers
+        reports only: running compute on an engine from two threads at
+        once (e.g. synchronous calls while jobs are in flight) is not
+        supported — caches and the hw-model's stage buffers are
+        unsynchronized.  Route concurrent work through the job queue.
+        """
+        return getattr(self._thread_reports, "value", None)
+
+    @last_report.setter
+    def last_report(self, report: Optional[object]) -> None:
+        self._thread_reports.value = report
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -217,6 +240,56 @@ class Engine:
         )
         self._record_report(report)
         return product, report
+
+    # -- jobs --------------------------------------------------------------
+
+    def scheduler(self):
+        """The engine's lazily created :class:`~repro.engine.jobs.JobScheduler`.
+
+        One scheduler per engine: jobs submitted through
+        :meth:`submit` / :meth:`map` all share its FIFO dispatcher
+        thread (and therefore execute in submission order against this
+        engine).  Shut down via :meth:`close`.
+        """
+        from repro.engine.jobs import JobScheduler
+
+        if self._scheduler is None or not self._scheduler.active:
+            self._scheduler = JobScheduler(self)
+        return self._scheduler
+
+    def submit(self, job):
+        """Queue a job (see :mod:`repro.engine.jobs`); returns its handle."""
+        return self.scheduler().submit(job)
+
+    def map(self, op, items, chunk=None, **op_kwargs):
+        """Chunked job map over ``items`` — ordered, flattened results.
+
+        Delegates to :meth:`repro.engine.jobs.JobScheduler.map` on the
+        engine's scheduler.
+        """
+        return self.scheduler().map(op, items, chunk, **op_kwargs)
+
+    def close(self) -> None:
+        """Release the engine's asynchronous resources (idempotent).
+
+        Drains and stops the job scheduler (if one was created) and
+        shuts down any worker pool the backend holds (the
+        ``software-mp`` process pool).  The engine itself stays usable
+        for synchronous calls; schedulers and pools are rebuilt lazily
+        on next use.
+        """
+        if self._scheduler is not None:
+            self._scheduler.shutdown(wait=True)
+            self._scheduler = None
+        close_backend = getattr(self.backend, "close", None)
+        if close_backend is not None:
+            close_backend()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- FHE contexts ------------------------------------------------------
 

@@ -1,0 +1,495 @@
+"""``repro.jobs`` — futures-style submission over an :class:`Engine`.
+
+The paper's accelerator is a throughput machine: a macro-pipelined
+FFT-64 datapath fed with *streams* of large-integer products.  The
+:class:`~repro.engine.Engine` façade, by contrast, is call-and-block.
+This module closes the gap with a job model:
+
+>>> from repro.jobs import JobScheduler, MultiplyJob, as_completed
+>>> with JobScheduler(engine) as jobs:
+...     handle = jobs.submit(MultiplyJob.of(a, b))   # returns at once
+...     handle.done(), handle.result()               # futures-style
+...     products = jobs.map("multiply", pairs, chunk=64)
+...     for h in as_completed(jobs.submit_map("multiply", pairs)):
+...         consume(h.result())
+
+Every workload of the stack flows through the same queue: SSA products
+(:class:`MultiplyJob`), ring forward/inverse/convolution batches
+(:class:`RingTransformJob`, :class:`ConvolveJob`), DGHV homomorphic
+AND layers (:class:`DGHVMultJob`) and RLWE plaintext products
+(:class:`RLWEMultiplyPlainJob`).  Jobs execute **in submission order**
+on one dispatcher thread that owns the engine — the engine's caches
+are never raced — while intra-job parallelism comes from the engine's
+compute backend (``software-mp`` shards each job's batch axis across
+worker processes).  While jobs are in flight, route further compute on
+that engine through the queue too (engine caches and hw-model stage
+buffers are unsynchronized; only report slots are per-thread) — the
+caller's own non-engine work overlaps freely.
+
+``Engine.submit`` / ``Engine.map`` are conveniences over a lazily
+created per-engine scheduler.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import as_completed as _futures_as_completed
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.engine.config import ExecutionConfig
+
+# -- job types ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MultiplyJob:
+    """A batch of exact SSA products ``[a·b for (a, b) in pairs]``."""
+
+    pairs: Tuple[Tuple[int, int], ...]
+
+    kind = "multiply"
+
+    @classmethod
+    def of(cls, a: int, b: int) -> "MultiplyJob":
+        """A single-product job (``result()`` is a one-element list)."""
+        return cls(pairs=((int(a), int(b)),))
+
+    @classmethod
+    def batched(
+        cls, pairs: Iterable[Tuple[int, int]]
+    ) -> "MultiplyJob":
+        return cls(pairs=tuple((int(a), int(b)) for a, b in pairs))
+
+    def run(self, engine) -> List[int]:
+        left = [a for a, _ in self.pairs]
+        right = [b for _, b in self.pairs]
+        return engine.multiply(left, right)
+
+
+@dataclass(frozen=True, eq=False)
+class RingTransformJob:
+    """A ``(batch, n)`` (inverse) NTT batch, optionally ψ-twisted."""
+
+    n: int
+    values: np.ndarray
+    inverse: bool = False
+    negacyclic: bool = False
+    radices: Optional[Tuple[int, ...]] = None
+
+    kind = "ring-transform"
+
+    def run(self, engine) -> np.ndarray:
+        ring = engine.ring(self.n, self.radices)
+        if self.negacyclic:
+            method = (
+                ring.negacyclic_inverse
+                if self.inverse
+                else ring.negacyclic_forward
+            )
+        else:
+            method = ring.inverse if self.inverse else ring.forward
+        return method(self.values)
+
+
+@dataclass(frozen=True, eq=False)
+class ConvolveJob:
+    """A cyclic or negacyclic convolution batch (broadcast included)."""
+
+    n: int
+    a: np.ndarray
+    b: np.ndarray
+    negacyclic: bool = False
+    radices: Optional[Tuple[int, ...]] = None
+
+    kind = "convolve"
+
+    def run(self, engine) -> np.ndarray:
+        return engine.ring(self.n, self.radices).convolve(
+            self.a, self.b, negacyclic=self.negacyclic
+        )
+
+
+class _MultiplierStrategy:
+    """The minimal ``scheme`` shape :func:`repro.fhe.ops.he_mult_many`
+    needs: an object exposing the engine's multiplier strategy."""
+
+    def __init__(self, engine):
+        from repro.engine.core import EngineMultiplier
+
+        self.multiplier = EngineMultiplier(engine)
+
+
+@dataclass(frozen=True, eq=False)
+class DGHVMultJob:
+    """A layer of DGHV homomorphic AND gates (ciphertext products).
+
+    Semantics and noise bookkeeping of
+    :func:`repro.fhe.ops.he_mult_many`: the γ×γ-bit products run as one
+    batched SSA pass through the engine (and therefore through its
+    backend — sharded on ``software-mp``, cycle-counted on
+    ``hw-model``).
+    """
+
+    pairs: Tuple[Tuple[Any, Any], ...]  # (Ciphertext, Ciphertext) pairs
+    x0: Optional[int] = None
+
+    kind = "dghv-mult"
+
+    def run(self, engine) -> List[Any]:
+        from repro.fhe.ops import he_mult_many
+
+        return he_mult_many(
+            _MultiplierStrategy(engine), self.pairs, x0=self.x0
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class RLWEMultiplyPlainJob:
+    """Batched RLWE plaintext-by-ciphertext products.
+
+    Bit-identical to
+    :meth:`repro.fhe.rlwe.RLWE.multiply_plain_many` on a scheme bound
+    to the engine's plan (``3·B`` negacyclic transforms total).
+    """
+
+    params: Any  # repro.fhe.rlwe.RLWEParams
+    ciphertexts: Tuple[Any, ...]
+    plains: Tuple[Tuple[int, ...], ...]
+
+    kind = "rlwe-multiply-plain"
+
+    def run(self, engine) -> List[Any]:
+        scheme = engine.fhe(self.params)
+        return scheme.multiply_plain_many(
+            list(self.ciphertexts), [list(p) for p in self.plains]
+        )
+
+
+Job = Union[
+    MultiplyJob,
+    RingTransformJob,
+    ConvolveJob,
+    DGHVMultJob,
+    RLWEMultiplyPlainJob,
+]
+
+
+# -- handles ---------------------------------------------------------------
+
+
+class JobHandle:
+    """A future over one submitted job.
+
+    ``result(timeout=None)`` blocks for (and returns or re-raises) the
+    job's outcome; ``done()`` / ``exception()`` / ``cancel()`` follow
+    :class:`concurrent.futures.Future` semantics.  After completion,
+    :attr:`report` holds whatever timing artifact the engine's backend
+    produced for the job (``None`` on the software backends).
+    """
+
+    def __init__(self, job: Job, job_id: int):
+        self.job = job
+        self.job_id = job_id
+        self._future: Future = Future()
+        self._report: Optional[object] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done() else "pending"
+        return (
+            f"JobHandle(id={self.job_id}, "
+            f"kind={getattr(self.job, 'kind', '?')!r}, {state})"
+        )
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        """Cancel if not yet started (single dispatcher ⇒ FIFO queue)."""
+        return self._future.cancel()
+
+    def result(self, timeout: Optional[float] = None):
+        return self._future.result(timeout)
+
+    def exception(self, timeout: Optional[float] = None):
+        return self._future.exception(timeout)
+
+    @property
+    def report(self) -> Optional[object]:
+        """The backend's timing artifact for this job (post-completion)."""
+        return self._report
+
+
+def as_completed(
+    handles: Iterable[JobHandle], timeout: Optional[float] = None
+) -> Iterator[JobHandle]:
+    """Yield handles as their jobs finish (completion order)."""
+    handles = list(handles)
+    by_future = {h._future: h for h in handles}
+    for future in _futures_as_completed(by_future, timeout=timeout):
+        yield by_future[future]
+
+
+# -- the scheduler ---------------------------------------------------------
+
+#: ``map(op, ...)`` kinds → chunk-of-items → job factories.  ``items``
+#: is the chunk (a list); extra ``map`` kwargs are forwarded.
+_MAP_FACTORIES: dict = {
+    "multiply": lambda items, **kw: MultiplyJob.batched(items),
+    "dghv-mult": lambda items, **kw: DGHVMultJob(
+        pairs=tuple(items), x0=kw.get("x0")
+    ),
+    "ring-forward": lambda items, **kw: RingTransformJob(
+        n=kw["n"],
+        values=np.vstack(items),
+        inverse=False,
+        negacyclic=kw.get("negacyclic", False),
+        radices=kw.get("radices"),
+    ),
+    "ring-inverse": lambda items, **kw: RingTransformJob(
+        n=kw["n"],
+        values=np.vstack(items),
+        inverse=True,
+        negacyclic=kw.get("negacyclic", False),
+        radices=kw.get("radices"),
+    ),
+}
+
+
+class JobScheduler:
+    """Futures-style submission queue over one engine.
+
+    Parameters
+    ----------
+    source:
+        An :class:`~repro.engine.Engine` to run jobs on, an
+        :class:`~repro.engine.config.ExecutionConfig` (a private engine
+        is built from it), or ``None`` (a default engine).
+    backend:
+        Backend name for the private engine when ``source`` is a
+        config or ``None``; ignored when an engine is passed.
+
+    One dispatcher thread owns the engine and executes jobs strictly in
+    submission order — callers get their :class:`JobHandle` back
+    immediately and overlap their own work (or further submissions)
+    with the compute.  Parallelism *within* a job comes from the
+    engine's backend; pair the scheduler with ``software-mp`` to shard
+    each job's batch axis across worker processes.
+    """
+
+    def __init__(
+        self,
+        source=None,
+        *,
+        backend: Optional[str] = None,
+    ):
+        from repro.engine.core import Engine
+
+        self._owns_engine = False
+        if source is None:
+            self.engine = Engine(backend=backend or "software")
+            self._owns_engine = True
+        elif isinstance(source, ExecutionConfig):
+            self.engine = Engine(
+                config=source, backend=backend or "software"
+            )
+            self._owns_engine = True
+        elif isinstance(source, Engine):
+            if backend is not None:
+                raise ValueError(
+                    "backend= applies only when the scheduler builds "
+                    "its own engine; this Engine already has one"
+                )
+            self.engine = source
+        else:
+            raise TypeError(
+                "source must be an Engine, an ExecutionConfig or None; "
+                f"got {type(source)!r}"
+            )
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-jobs"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    @property
+    def active(self) -> bool:
+        return self._pool is not None
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; optionally wait for the queue to drain.
+
+        Idempotent.  Pending jobs still execute (FIFO) unless the
+        interpreter is exiting; call ``cancel()`` on handles first to
+        drop queued work.  An engine the scheduler built for itself
+        (the config / ``None`` constructor forms) is closed with it —
+        its ``software-mp`` worker pool does not outlive the queue.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if wait or not self._owns_engine:
+            pool.shutdown(wait=wait)
+            if self._owns_engine:
+                self.engine.close()
+            return
+        # wait=False on an owned engine: queued jobs may still be
+        # executing, so the engine (and its software-mp worker pool)
+        # must only close once the dispatcher drains — hand that to a
+        # reaper thread instead of blocking the caller.
+        pool.shutdown(wait=False)
+
+        def _drain_then_close() -> None:
+            pool.shutdown(wait=True)  # idempotent: waits for drain
+            self.engine.close()
+
+        threading.Thread(
+            target=_drain_then_close,
+            name="repro-jobs-reaper",
+            daemon=True,
+        ).start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, job: Job) -> JobHandle:
+        """Queue one job; returns its :class:`JobHandle` immediately."""
+        run = getattr(job, "run", None)
+        if not callable(run):
+            raise TypeError(
+                f"not a job (no run(engine) method): {job!r}"
+            )
+        handle = JobHandle(job, next(self._ids))
+        with self._lock:
+            if self._pool is None:
+                raise RuntimeError("scheduler is shut down")
+            self._pool.submit(self._execute, job, handle)
+        return handle
+
+    def _execute(self, job: Job, handle: JobHandle) -> None:
+        """Dispatcher-thread body: run, capture report, resolve."""
+        if not handle._future.set_running_or_notify_cancel():
+            return
+        # Clear this thread's report slot first: a job that fails (or
+        # never reaches a backend call) must not inherit the previous
+        # job's timing artifact.
+        self.engine.last_report = None
+        try:
+            result = job.run(self.engine)
+        except BaseException as error:
+            handle._report = self.engine.last_report
+            handle._future.set_exception(error)
+        else:
+            handle._report = self.engine.last_report
+            handle._future.set_result(result)
+
+    # -- mapping -----------------------------------------------------------
+
+    def default_chunk(self, total: int) -> int:
+        """One chunk covering all items.
+
+        Chunk jobs run *sequentially* on the FIFO dispatcher, and the
+        compute backend already shards each job's batch axis across
+        its workers — splitting a map into W chunks would just re-shard
+        each W ways (W² tiny pool round-trips).  Smaller chunks only
+        pay off for streaming partial results through
+        :func:`as_completed`; pass ``chunk=`` explicitly for that.
+        """
+        return max(1, total)
+
+    def submit_map(
+        self,
+        op: Union[str, Callable[[list], Job]],
+        items: Sequence,
+        chunk: Optional[int] = None,
+        **op_kwargs,
+    ) -> List[JobHandle]:
+        """Split ``items`` into chunk jobs; return one handle per chunk.
+
+        ``op`` is a registered kind (``"multiply"``, ``"dghv-mult"``,
+        ``"ring-forward"``, ``"ring-inverse"`` — extra kwargs such as
+        ``n=`` or ``x0=`` are forwarded to the job) or any callable
+        taking a chunk (list of items) and returning a job.  Chunks
+        preserve item order; ``chunk=None`` uses
+        :meth:`default_chunk`.
+        """
+        if isinstance(op, str):
+            try:
+                factory = _MAP_FACTORIES[op]
+            except KeyError:
+                raise ValueError(
+                    f"unknown map op {op!r}; expected one of "
+                    f"{sorted(_MAP_FACTORIES)} or a callable"
+                ) from None
+        else:
+            # Extra kwargs are forwarded so a callable op is not a
+            # silent kwargs sink (a callable that takes none raises).
+            factory = lambda chunk_items, **kw: op(chunk_items, **kw)  # noqa: E731
+        items = list(items)
+        if chunk is None:
+            chunk = self.default_chunk(len(items))
+        if chunk < 1:
+            raise ValueError("chunk must be a positive integer")
+        return [
+            self.submit(factory(items[start : start + chunk], **op_kwargs))
+            for start in range(0, len(items), chunk)
+        ]
+
+    def map(
+        self,
+        op: Union[str, Callable[[list], Job]],
+        items: Sequence,
+        chunk: Optional[int] = None,
+        **op_kwargs,
+    ) -> Union[list, np.ndarray]:
+        """Run ``op`` over ``items`` in chunk jobs; ordered results.
+
+        Blocks until every chunk completes and flattens the per-chunk
+        results back to one per-item sequence (rows are re-stacked for
+        array-valued ops), in the original item order.
+        """
+        handles = self.submit_map(op, items, chunk, **op_kwargs)
+        results = [handle.result() for handle in handles]
+        if not results:
+            return []
+        if isinstance(results[0], np.ndarray):
+            return np.concatenate(results, axis=0)
+        flattened: list = []
+        for result in results:
+            flattened.extend(result)
+        return flattened
+
+
+__all__ = [
+    "JobScheduler",
+    "JobHandle",
+    "Job",
+    "MultiplyJob",
+    "RingTransformJob",
+    "ConvolveJob",
+    "DGHVMultJob",
+    "RLWEMultiplyPlainJob",
+    "as_completed",
+]

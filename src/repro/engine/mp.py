@@ -1,0 +1,96 @@
+"""Worker-process side of the ``software-mp`` compute backend.
+
+The parent process never ships engines, plans or multipliers across
+the pipe — only an :class:`~repro.engine.config.ExecutionConfig` (at
+pool construction) and per-shard payloads (operand pairs or coefficient
+rows).  Each worker rebuilds its own :class:`~repro.engine.Engine` from
+the pickled config in :func:`initialize_worker` and keeps it for the
+life of the pool, so its :class:`~repro.ntt.plan.PlanCache` warms once
+— the first shard of a given shape pays the plan build, every later
+shard hits the cache.
+
+Everything in this module must stay importable at top level (picklable
+by reference) for both the ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.config import ExecutionConfig
+
+#: The per-process engine, built once by :func:`initialize_worker`.
+_WORKER_ENGINE = None
+
+
+def initialize_worker(config: ExecutionConfig) -> None:
+    """Pool initializer: rebuild the engine from the pickled config.
+
+    The worker always runs the plain ``software`` backend — sharding
+    recursion (a worker spawning its own pool) is structurally
+    impossible.
+    """
+    global _WORKER_ENGINE
+    from repro.engine.core import Engine
+
+    _WORKER_ENGINE = Engine(config=config, backend="software")
+
+
+def _engine():
+    """The worker's engine (tolerates pools built without initializer)."""
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:  # pragma: no cover - defensive
+        initialize_worker(ExecutionConfig())
+    return _WORKER_ENGINE
+
+
+def multiply_shard(params, pairs: Sequence[Tuple[int, int]]) -> List[int]:
+    """One contiguous shard of a ``multiply_many`` batch.
+
+    ``params`` is the :class:`~repro.ssa.encode.SSAParameters` the
+    *parent* sized for the full batch, so every shard uses the same
+    transform length regardless of which operands it drew.  The shard
+    runs through the worker engine's ``software`` backend, so the
+    config's ``batch_chunk`` (the peak-working-set bound on one SSA
+    pass) is honored by the same code path the parent uses.
+    """
+    engine = _engine()
+    products, _ = engine.backend.multiply_many(
+        engine, engine.multiplier(params=params), list(pairs)
+    )
+    return products
+
+
+def transform_shard(
+    n: int,
+    radices: Optional[Tuple[int, ...]],
+    rows: np.ndarray,
+    inverse: bool,
+) -> np.ndarray:
+    """One contiguous row-shard of a ``(batch, n)`` transform."""
+    from repro.ntt.staged import (
+        execute_plan_batch,
+        execute_plan_inverse_batch,
+    )
+
+    plan = _engine().plan(n, radices)
+    if inverse:
+        return execute_plan_inverse_batch(rows, plan)
+    return execute_plan_batch(rows, plan)
+
+
+def probe() -> int:
+    """Cheap liveness probe (returns the worker's PID)."""
+    import os
+
+    return os.getpid()
+
+
+__all__ = [
+    "initialize_worker",
+    "multiply_shard",
+    "transform_shard",
+    "probe",
+]

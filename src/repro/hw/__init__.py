@@ -23,7 +23,11 @@ from repro.hw.fft64_baseline import BaselineFFT64Unit
 from repro.hw.banked_memory import BankedMemory
 from repro.hw.pe import ProcessingElement
 from repro.hw.hypercube import HypercubeTopology
-from repro.hw.accelerator import HEAccelerator, DistributedFFTReport
+from repro.hw.accelerator import (
+    DistributedFFTBatchReport,
+    DistributedFFTReport,
+    HEAccelerator,
+)
 from repro.hw.timing import AcceleratorTiming, PAPER_TIMING, BASELINE_TIMING
 from repro.hw.reports import table1_report, table2_report
 from repro.hw.fft64_pipeline import FFT64Pipeline
@@ -57,6 +61,7 @@ __all__ = [
     "HypercubeTopology",
     "HEAccelerator",
     "DistributedFFTReport",
+    "DistributedFFTBatchReport",
     "AcceleratorTiming",
     "PAPER_TIMING",
     "BASELINE_TIMING",

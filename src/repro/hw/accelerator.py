@@ -118,6 +118,57 @@ class DistributedFFTReport:
         return "\n".join(lines)
 
 
+@dataclass
+class DistributedFFTBatchReport:
+    """Cycle accounting for a ``(batch, n)`` transform in one call.
+
+    The accelerator has a single FFT engine, so rows stream through it
+    back to back: every row costs the identical :attr:`per_row`
+    schedule and the batch total is ``rows ×`` that row time (stalls a
+    row exposes internally stay exposed; cross-row overlap of the
+    trailing exchange is a modeling refinement left open).
+    """
+
+    rows: int
+    #: One row's full stage report (all rows are identical).
+    per_row: Optional[DistributedFFTReport]
+    clock_ns: float
+
+    @property
+    def compute_cycles(self) -> int:
+        if self.per_row is None:
+            return 0
+        return self.rows * self.per_row.compute_cycles
+
+    @property
+    def stall_cycles(self) -> int:
+        if self.per_row is None:
+            return 0
+        return self.rows * self.per_row.stall_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        if self.per_row is None:
+            return 0
+        return self.rows * self.per_row.total_cycles
+
+    @property
+    def time_us(self) -> float:
+        return self.total_cycles * self.clock_ns / 1000.0
+
+    def render(self) -> str:
+        if self.per_row is None:
+            return "batched transform: 0 rows"
+        lines = [
+            f"batched {self.per_row.plan_n}-point FFT x{self.rows} rows "
+            f"on {self.per_row.pes} PE(s): {self.total_cycles} cycles = "
+            f"{self.time_us:.2f} us "
+            f"({self.per_row.total_cycles} cycles/row)"
+        ]
+        lines.extend(self.per_row.render().splitlines()[1:])
+        return "\n".join(lines)
+
+
 @dataclass(frozen=True)
 class MultiplyPhase:
     """One phase of the SSA multiplication timeline."""
@@ -181,6 +232,9 @@ class HEAccelerator:
         # (an engine-resident accelerator serving a workload) allocate
         # nothing at all.  Allocated lazily on the first transform.
         self._stage_buffers: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # The (batch, n) counterparts, grown to the largest batch seen
+        # (distributed_ntt_batch ping-pongs row-matrix views of them).
+        self._batch_buffers: Optional[Tuple[np.ndarray, np.ndarray]] = None
         for radix, count in self.plan.sub_transform_counts():
             if count % pes:
                 raise ValueError(
@@ -262,62 +316,62 @@ class HEAccelerator:
 
     # -- distributed transform -------------------------------------------
 
-    def distributed_ntt(
-        self,
-        values: np.ndarray,
-        inverse: bool = False,
-        fidelity: str = "fast",
-    ) -> Tuple[np.ndarray, DistributedFFTReport]:
-        """Run one transform across the PEs.
+    def _stage_costs(self, plan: TransformPlan, index: int):
+        """Value-independent cycle costs of stage ``index``.
 
-        Returns the transformed vector (natural order, scaled by
-        ``n^{-1}`` when ``inverse``) and the cycle report.
+        Returns ``(compute_cycles_per_pe, exchange_words_per_link,
+        exchange_cycles, words_sent_per_pe)``; the exchange fields are
+        zero for the last stage (no redistribution follows it).
         """
-        plan = self.plan.inverse_plan if inverse else self.plan
-        if plan is None:
-            raise ValueError("plan has no inverse companion")
-        if values.shape != (plan.n,):
-            raise ValueError(f"expected a flat array of length {plan.n}")
-        if fidelity not in ("fast", "datapath"):
-            raise ValueError(f"unknown fidelity {fidelity!r}")
+        stage = plan.stages[index]
+        radix = plan.radices[index]
+        compute = (
+            stage.sub_transforms // self.pe_count
+        ) * FFT64Unit.initiation_interval(radix)
+        words = exchange_cycles = sent = 0
+        if index + 1 < len(plan.stages):
+            before = self._ownership(plan, index)
+            after = self._ownership(plan, index + 1)
+            words, exchange_cycles = self._exchange_stats(before, after)
+            sent = int(np.count_nonzero(before != after)) // self.pe_count
+        return compute, words, exchange_cycles, sent
 
+    def _timing_report(
+        self, plan: TransformPlan, rows: int = 1
+    ) -> DistributedFFTReport:
+        """One row's stage/timeline report; PE ledgers bumped ×``rows``.
+
+        The schedule is identical for every row of a batch, so the
+        report is computed once and the per-PE activity counters are
+        scaled by the row count.
+        """
         report = DistributedFFTReport(
             pes=self.pe_count, plan_n=plan.n, clock_ns=self.clock_ns
         )
-        data = np.ascontiguousarray(values, dtype=np.uint64)
         cycle_cursor = 0
         stage_count = len(plan.stages)
-        for index, stage in enumerate(plan.stages):
-            length, radix, tail = self._stage_geometry(plan, index)
-            if fidelity == "fast":
-                data = self._run_stage_fast(data, plan, index)
-            else:
-                data = self._run_stage_datapath(data, plan, index, inverse)
-            work_per_pe = stage.sub_transforms // self.pe_count
-            compute = work_per_pe * FFT64Unit.initiation_interval(radix)
+        for index in range(stage_count):
+            stage = plan.stages[index]
+            compute, words, exchange_cycles, sent = self._stage_costs(
+                plan, index
+            )
             for pe in self.pes:
-                pe.counters.fft_cycles += compute
-            words, exchange_cycles = 0, 0
+                pe.counters.fft_cycles += compute * rows
             if index + 1 < stage_count:
-                before = self._ownership(plan, index)
-                after = self._ownership(plan, index + 1)
-                words, exchange_cycles = self._exchange_stats(before, after)
-                sent = int(np.count_nonzero(before != after)) // self.pe_count
                 for pe in self.pes:
-                    pe.counters.words_sent += sent
-                    pe.counters.words_received += sent
+                    pe.counters.words_sent += sent * rows
+                    pe.counters.words_received += sent * rows
                     pe.swap_buffers()
             next_compute = 0
             if index + 1 < stage_count:
-                nxt = plan.stages[index + 1]
                 next_compute = (
-                    nxt.sub_transforms // self.pe_count
-                ) * FFT64Unit.initiation_interval(nxt.radix)
+                    plan.stages[index + 1].sub_transforms // self.pe_count
+                ) * FFT64Unit.initiation_interval(plan.radices[index + 1])
             overlapped = exchange_cycles <= next_compute
             report.stages.append(
                 StageTiming(
                     index=index,
-                    radix=radix,
+                    radix=plan.radices[index],
                     sub_transforms=stage.sub_transforms,
                     compute_cycles_per_pe=compute,
                     exchange_words_per_link=words,
@@ -344,6 +398,34 @@ class HEAccelerator:
                         f"exchange{index}",
                     )
             cycle_cursor += compute
+        return report
+
+    def distributed_ntt(
+        self,
+        values: np.ndarray,
+        inverse: bool = False,
+        fidelity: str = "fast",
+    ) -> Tuple[np.ndarray, DistributedFFTReport]:
+        """Run one transform across the PEs.
+
+        Returns the transformed vector (natural order, scaled by
+        ``n^{-1}`` when ``inverse``) and the cycle report.
+        """
+        plan = self.plan.inverse_plan if inverse else self.plan
+        if plan is None:
+            raise ValueError("plan has no inverse companion")
+        if values.shape != (plan.n,):
+            raise ValueError(f"expected a flat array of length {plan.n}")
+        if fidelity not in ("fast", "datapath"):
+            raise ValueError(f"unknown fidelity {fidelity!r}")
+
+        data = np.ascontiguousarray(values, dtype=np.uint64)
+        for index in range(len(plan.stages)):
+            if fidelity == "fast":
+                data = self._run_stage_fast(data, plan, index)
+            else:
+                data = self._run_stage_datapath(data, plan, index, inverse)
+        report = self._timing_report(plan)
 
         # Fancy indexing copies, so the caller never holds a view of the
         # reusable stage buffers.
@@ -351,6 +433,59 @@ class HEAccelerator:
         if inverse:
             vmul(out, np.broadcast_to(plan.n_inv, out.shape), out=out)
         return out, report
+
+    def distributed_ntt_batch(
+        self,
+        values: np.ndarray,
+        inverse: bool = False,
+        fidelity: str = "fast",
+    ) -> Tuple[np.ndarray, DistributedFFTBatchReport]:
+        """Run a ``(batch, n)`` matrix of transforms in one call.
+
+        The batch macro-pipeline counterpart of :meth:`distributed_ntt`
+        — on ``fast`` fidelity the whole row batch moves through each
+        stage as one vectorized kernel dispatch (no per-row Python
+        loop), while the cycle model streams the rows through the
+        single FFT engine back to back
+        (:class:`DistributedFFTBatchReport`).  ``datapath`` fidelity
+        keeps the beat-exact per-row walk.  Values are bit-identical to
+        looping :meth:`distributed_ntt` in both fidelities.
+        """
+        plan = self.plan.inverse_plan if inverse else self.plan
+        if plan is None:
+            raise ValueError("plan has no inverse companion")
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if values.ndim != 2 or values.shape[1] != plan.n:
+            raise ValueError(f"expected a (batch, {plan.n}) matrix")
+        if fidelity not in ("fast", "datapath"):
+            raise ValueError(f"unknown fidelity {fidelity!r}")
+        rows = values.shape[0]
+        if rows == 0:
+            return values.copy(), DistributedFFTBatchReport(
+                rows=0, per_row=None, clock_ns=self.clock_ns
+            )
+
+        if fidelity == "datapath":
+            out = np.empty_like(values)
+            per_row: Optional[DistributedFFTReport] = None
+            for row in range(rows):
+                out[row], per_row = self.distributed_ntt(
+                    values[row], inverse=inverse, fidelity=fidelity
+                )
+            return out, DistributedFFTBatchReport(
+                rows=rows, per_row=per_row, clock_ns=self.clock_ns
+            )
+
+        data = values.copy()  # never mutate the caller's matrix
+        for index in range(len(plan.stages)):
+            data = self._run_stage_fast_batch(data, plan, index)
+        per_row = self._timing_report(plan, rows=rows)
+        out = data[:, plan.output_permutation]
+        if inverse:
+            vmul(out, np.broadcast_to(plan.n_inv, out.shape), out=out)
+        return out, DistributedFFTBatchReport(
+            rows=rows, per_row=per_row, clock_ns=self.clock_ns
+        )
 
     def _run_stage_fast(
         self, data: np.ndarray, plan: TransformPlan, index: int
@@ -371,6 +506,50 @@ class HEAccelerator:
         if stage.twiddles is not None:
             vmul(out, stage.twiddles[np.newaxis, :, :], out=out)
         return out.reshape(plan.n)
+
+    def _batch_stage_output(self, data: np.ndarray) -> np.ndarray:
+        """The ``(rows, n)`` ping-pong buffer the next stage writes.
+
+        Mirrors :meth:`_stage_output` for batched transforms: two
+        persistent matrices grown to the largest batch seen; the one
+        holding the stage input is skipped.
+        """
+        rows, n = data.shape
+        if (
+            self._batch_buffers is None
+            or self._batch_buffers[0].shape[0] < rows
+        ):
+            self._batch_buffers = (
+                np.empty((rows, n), dtype=np.uint64),
+                np.empty((rows, n), dtype=np.uint64),
+            )
+        for buffer in self._batch_buffers:
+            view = buffer[:rows]
+            if not np.shares_memory(view, data):
+                return view
+        raise AssertionError("both batch buffers alias the stage input")
+
+    def _run_stage_fast_batch(
+        self, data: np.ndarray, plan: TransformPlan, index: int
+    ) -> np.ndarray:
+        """One stage over every row of a ``(rows, n)`` matrix at once.
+
+        The stage kernels are block-axis agnostic, so the row batch
+        simply multiplies the block count: ``rows × blocks`` sub-DFTs
+        go through one kernel dispatch, with the twiddle table
+        broadcast across all of them.
+        """
+        length, radix, tail = self._stage_geometry(plan, index)
+        stage = plan.stages[index]
+        blocks = plan.n // length
+        rows = data.shape[0]
+        view = data.reshape(rows * blocks, radix, tail)
+        out_rows = self._batch_stage_output(data)
+        out = out_rows.reshape(rows * blocks, radix, tail)
+        stage_executor(plan.kernel or None)(view, stage, out)
+        if stage.twiddles is not None:
+            vmul(out, stage.twiddles[np.newaxis, :, :], out=out)
+        return out_rows
 
     def _run_stage_datapath(
         self,

@@ -1,0 +1,32 @@
+"""``repro.jobs`` — the public home of the futures-style job API.
+
+Thin re-export of :mod:`repro.engine.jobs` so user code reads::
+
+    from repro.jobs import JobScheduler, MultiplyJob, as_completed
+
+See that module for the full documentation.
+"""
+
+from repro.engine.jobs import (
+    ConvolveJob,
+    DGHVMultJob,
+    Job,
+    JobHandle,
+    JobScheduler,
+    MultiplyJob,
+    RingTransformJob,
+    RLWEMultiplyPlainJob,
+    as_completed,
+)
+
+__all__ = [
+    "JobScheduler",
+    "JobHandle",
+    "Job",
+    "MultiplyJob",
+    "RingTransformJob",
+    "ConvolveJob",
+    "DGHVMultJob",
+    "RLWEMultiplyPlainJob",
+    "as_completed",
+]

@@ -24,7 +24,7 @@ from repro.ssa.encode import (
     PAPER_PARAMETERS,
 )
 from repro.ssa.carry import carry_recover, carry_recover_many
-from repro.ssa.multiplier import SSAMultiplier, ssa_multiply
+from repro.ssa.multiplier import SSAMultiplier, split_batch, ssa_multiply
 from repro.ssa.baselines import (
     schoolbook_multiply,
     karatsuba_multiply,
@@ -41,6 +41,7 @@ __all__ = [
     "carry_recover",
     "carry_recover_many",
     "SSAMultiplier",
+    "split_batch",
     "ssa_multiply",
     "schoolbook_multiply",
     "karatsuba_multiply",

@@ -173,6 +173,36 @@ class SSAMultiplier:
         return recompose(digits, self.params.coefficient_bits)
 
 
+def split_batch(count: int, shards: int) -> List[slice]:
+    """Balanced contiguous slices covering ``range(count)``.
+
+    The batch axis is the parallelism unit of the stack (every
+    ``multiply_many`` / ``(batch, n)`` transform is independent per
+    item), and contiguous slices keep each shard's operands adjacent —
+    the shape the ``software-mp`` backend ships to worker processes.
+    The first ``count % shards`` slices are one item longer, no slice
+    is empty, and at most ``count`` slices are returned.
+
+    >>> split_batch(7, 3)
+    [slice(0, 3, None), slice(3, 5, None), slice(5, 7, None)]
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    shards = min(shards, count)
+    if shards == 0:
+        return []
+    base, extra = divmod(count, shards)
+    slices: List[slice] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        slices.append(slice(start, stop))
+        start = stop
+    return slices
+
+
 def ssa_multiply(
     a: int, b: int, params: Optional[SSAParameters] = None
 ) -> int:

@@ -15,7 +15,10 @@ before trusting any number the library prints:
 7. the analytic timing against the paper's headline numbers;
 8. a DGHV encrypt–evaluate–decrypt roundtrip;
 9. the Engine façade: ``software`` vs ``hw-model`` backend products
-   bit-identical, ring scalar/batch polymorphism consistent.
+   bit-identical, ring scalar/batch polymorphism consistent;
+10. the jobs layer: ``software-mp`` sharded products and transforms
+    bit-identical to ``software``, ``JobScheduler`` submit/map
+    ordering intact.
 """
 
 from __future__ import annotations
@@ -207,6 +210,52 @@ def _check_engine() -> CheckResult:
     )
 
 
+def _check_jobs_mp() -> CheckResult:
+    import numpy as np
+
+    from repro.engine import Engine, ExecutionConfig
+    from repro.engine.jobs import JobScheduler, MultiplyJob
+    from repro.field.solinas import P
+
+    rng = random.Random(8)
+    pairs = [
+        (rng.getrandbits(1024), rng.getrandbits(1024)) for _ in range(6)
+    ]
+    truth = [a * b for a, b in pairs]
+    software = Engine()
+    mp_engine = Engine(
+        config=ExecutionConfig(workers=2), backend="software-mp"
+    )
+    try:
+        left = [a for a, _ in pairs]
+        right = [b for _, b in pairs]
+        products_match = (
+            mp_engine.multiply(left, right)
+            == software.multiply(left, right)
+            == truth
+        )
+        rows = np.array(
+            [[rng.randrange(P) for _ in range(128)] for _ in range(4)],
+            dtype=np.uint64,
+        )
+        rows_match = np.array_equal(
+            mp_engine.ring(128).forward(rows),
+            software.ring(128).forward(rows),
+        )
+        with JobScheduler(software) as jobs:
+            handle = jobs.submit(MultiplyJob.batched(pairs))
+            jobs_match = (
+                handle.result() == truth
+                and jobs.map("multiply", pairs, chunk=2) == truth
+            )
+    finally:
+        mp_engine.close()
+    return CheckResult(
+        "software-mp sharding bit-identical; job queue ordered",
+        products_match and rows_match and jobs_match,
+    )
+
+
 CHECKS: List[Callable[[], CheckResult]] = [
     _check_field,
     _check_vector,
@@ -217,6 +266,7 @@ CHECKS: List[Callable[[], CheckResult]] = [
     _check_timing,
     _check_fhe,
     _check_engine,
+    _check_jobs_mp,
 ]
 
 

@@ -83,6 +83,37 @@ class TestExecutionConfig:
         assert base.with_overrides(pes=8).pes == 8
         assert base.pes == 4
 
+    def test_hashable_and_comparable(self):
+        one = ExecutionConfig(kernel=KERNEL_LOOP, workers=2)
+        two = ExecutionConfig(kernel=KERNEL_LOOP, workers=2)
+        other = ExecutionConfig(kernel=KERNEL_LOOP, workers=3)
+        assert one == two
+        assert hash(one) == hash(two)
+        assert one != other
+        assert len({one, two, other}) == 2  # usable as a dict/pool key
+
+    def test_pickle_round_trip_stable(self, monkeypatch):
+        import pickle
+
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        config = ExecutionConfig(batch_chunk=16, pes=8, workers=2)
+        # Unpickling in an environment demanding a different kernel
+        # must NOT re-resolve: the construction-time choice travels.
+        monkeypatch.setenv(KERNEL_ENV_VAR, KERNEL_LOOP)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert hash(clone) == hash(config)
+        assert clone.kernel == KERNEL_LIMB_MATMUL
+        # double round-trip (what a respawned worker would see)
+        again = pickle.loads(pickle.dumps(clone))
+        assert again == config
+
+    def test_workers_validation_and_default(self):
+        assert ExecutionConfig().workers is None
+        assert ExecutionConfig(workers=4).workers == 4
+        with pytest.raises(ValueError):
+            ExecutionConfig(workers=-1)
+
 
 class TestBackendRegistry:
     def test_stock_backends_registered(self):
@@ -296,6 +327,39 @@ class TestBackendEquivalence:
         assert np.array_equal(ring.forward(x), execute_plan(x, ring.plan))
         assert np.array_equal(
             ring.inverse(x), execute_plan_inverse(x, ring.plan)
+        )
+
+    def test_hw_ring_batch_single_call_report(self):
+        """Batched hw-model transforms run as ONE accelerator call."""
+        from repro.hw.accelerator import (
+            DistributedFFTBatchReport,
+            DistributedFFTReport,
+        )
+
+        rng = np.random.default_rng(43)
+        engine = Engine(backend="hw-model")
+        ring = engine.ring(1024)
+        rows = _rows(rng, 4, 1024)
+        ring.forward(rows)
+        report = engine.last_report
+        assert isinstance(report, DistributedFFTBatchReport)
+        assert report.rows == 4
+        assert report.total_cycles == 4 * report.per_row.total_cycles
+        assert "x4 rows" in report.render()
+        ring.forward(rows[0])
+        assert isinstance(engine.last_report, DistributedFFTReport)
+
+    def test_hw_ring_batch_datapath_bit_identical(self):
+        rng = np.random.default_rng(47)
+        rows = _rows(rng, 3, 256)
+        fast = Engine(
+            config=ExecutionConfig(fidelity="fast"), backend="hw-model"
+        )
+        datapath = Engine(
+            config=ExecutionConfig(fidelity="datapath"), backend="hw-model"
+        )
+        assert np.array_equal(
+            fast.ring(256).forward(rows), datapath.ring(256).forward(rows)
         )
 
     def test_hw_multiply_many_reports(self):
