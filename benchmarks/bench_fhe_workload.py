@@ -9,7 +9,11 @@ through the Engine façade:
 - **jobs**: the same layer through ``JobScheduler.map("dghv-mult",...)``
   (the futures-style service shape);
 - **modeled**: one gate on the ``hw-model`` backend for the cycle
-  count, next to the paper's 122.88 µs Table II anchor.
+  count, next to the paper's 122.88 µs Table II anchor;
+- **rlwe**: batched ``multiply_plain_many`` ring products on the
+  *fused* negacyclic plan vs the explicit-twist unfused path —
+  bit-identity is checked on every measurement, and the full run
+  gates the paper 64K plan at ≥ 1.15× (ISSUE 5 acceptance).
 
 Every gate is decrypted and checked against the plaintext AND truth.
 Results go to two places:
@@ -54,6 +58,11 @@ OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 #: a small constant factor of calling ``he_mult_many`` directly.
 FULL_MAX_JOBS_OVERHEAD = 2.0
 SMOKE_MAX_JOBS_OVERHEAD = 5.0
+#: Fused negacyclic plans must beat the explicit-twist route by this
+#: factor on the paper 64K plan (ISSUE 5 acceptance; full runs only —
+#: smoke checks bit-identity without a timing gate).
+RLWE_FUSED_SPEEDUP_FLOOR = 1.15
+RLWE_ACCEPTANCE_N = 65536
 
 
 def _best_time(fn, repeats: int) -> float:
@@ -104,6 +113,60 @@ def run_case(
     }
 
 
+def rlwe_case(n: int, batch: int, repeats: int, seed: int) -> dict:
+    """Fused vs unfused ``multiply_plain_many`` at one ring dimension.
+
+    Two RLWE contexts share the same parameters and ciphertexts; one is
+    pinned to the fused negacyclic plan, the other to the explicit-twist
+    cyclic plan.  Outputs must be bit-identical; the timing ratio is the
+    fused-negacyclic speedup on the RLWE hot path.
+    """
+    from repro.fhe.rlwe import RLWE, RLWEParams
+    from repro.ntt.plan import TWIST_NEGACYCLIC, plan_for_size
+
+    params = RLWEParams(n=n, t=256, noise_bound=4)
+    fused_scheme = RLWE(
+        params,
+        rng=random.Random(seed),
+        plan=plan_for_size(n, twist=TWIST_NEGACYCLIC),
+    )
+    unfused_scheme = RLWE(
+        params, rng=random.Random(seed), plan=plan_for_size(n)
+    )
+    rng = random.Random(seed + 1)
+    secret = fused_scheme.generate_secret()
+    messages = [
+        [rng.randrange(params.t) for _ in range(n)] for _ in range(batch)
+    ]
+    plains = [
+        [rng.randrange(params.t) for _ in range(n)] for _ in range(batch)
+    ]
+    cts = fused_scheme.encrypt_many(secret, messages)
+
+    fused_out = fused_scheme.multiply_plain_many(cts, plains)
+    unfused_out = unfused_scheme.multiply_plain_many(cts, plains)
+    identical = all(
+        np.array_equal(f.c0, u.c0) and np.array_equal(f.c1, u.c1)
+        for f, u in zip(fused_out, unfused_out)
+    )
+
+    fused_s = _best_time(
+        lambda: fused_scheme.multiply_plain_many(cts, plains), repeats
+    )
+    unfused_s = _best_time(
+        lambda: unfused_scheme.multiply_plain_many(cts, plains), repeats
+    )
+    return {
+        "n": n,
+        "batch": batch,
+        "unfused_s": unfused_s,
+        "fused_s": fused_s,
+        "fused_speedup": unfused_s / fused_s,
+        "fused_products_per_s": 2 * batch / fused_s,
+        "identical": identical,
+    }
+
+
 def modeled_gate() -> dict:
     """Cycle-model numbers: one toy gate plus the paper anchor."""
     engine = Engine(backend="hw-model")
@@ -139,6 +202,19 @@ def render_table(report: dict) -> str:
             f"{r['jobs_gates_per_s']:>9.1f} "
             f"{'yes' if r['correct'] else 'NO':>4}"
         )
+    lines += [
+        "",
+        "RLWE multiply_plain_many: fused negacyclic plan vs explicit twist",
+        "",
+        f"{'n':>7} {'batch':>6} {'unfused s':>10} {'fused s':>10} "
+        f"{'speedup':>8} {'ident':>6}",
+    ]
+    for r in report["rlwe"]:
+        lines.append(
+            f"{r['n']:>7} {r['batch']:>6} {r['unfused_s']:>10.4f} "
+            f"{r['fused_s']:>10.4f} {r['fused_speedup']:>7.2f}x "
+            f"{'yes' if r['identical'] else 'NO':>6}"
+        )
     model = report["modeled"]
     lines += [
         "",
@@ -171,6 +247,25 @@ def evaluate(report: dict, smoke: bool) -> List[str]:
         failures.append("cycle model gate failed its decrypt check")
     if abs(report["modeled"]["paper_gate_us"] - 122.88) > 0.01:
         failures.append("paper timing anchor drifted from 122.88 us")
+    for r in report["rlwe"]:
+        tag = f"rlwe n={r['n']} batch={r['batch']}"
+        if not r["identical"]:
+            failures.append(
+                f"{tag}: fused multiply_plain_many diverged from the "
+                f"explicit-twist path"
+            )
+        if not smoke and r["n"] == RLWE_ACCEPTANCE_N:
+            if r["fused_speedup"] < RLWE_FUSED_SPEEDUP_FLOOR:
+                failures.append(
+                    f"{tag}: fused speedup {r['fused_speedup']:.2f}x "
+                    f"< {RLWE_FUSED_SPEEDUP_FLOOR}x acceptance floor"
+                )
+    if not smoke and not any(
+        r["n"] == RLWE_ACCEPTANCE_N for r in report["rlwe"]
+    ):
+        failures.append(
+            f"no {RLWE_ACCEPTANCE_N}-point rlwe measurement present"
+        )
     return failures
 
 
@@ -178,9 +273,11 @@ def run_suite(smoke: bool, repeats: Optional[int], seed: int) -> dict:
     engine = Engine()
     if smoke:
         cases = [(TOY, 8)]
+        rlwe_cases = [(1024, 4)]
         repeats = repeats or 2
     else:
         cases = [(TOY, 64), (MEDIUM, 16)]
+        rlwe_cases = [(4096, 8), (RLWE_ACCEPTANCE_N, 4)]
         repeats = repeats or 3
     try:
         results = [
@@ -189,9 +286,13 @@ def run_suite(smoke: bool, repeats: Optional[int], seed: int) -> dict:
         ]
     finally:
         engine.close()
+    rlwe_results = [
+        rlwe_case(n, batch, repeats, seed + 50 + i)
+        for i, (n, batch) in enumerate(rlwe_cases)
+    ]
     report = {
         "benchmark": "fhe_workload",
-        "schema_version": 1,
+        "schema_version": 2,
         "mode": "smoke" if smoke else "full",
         "created_unix": time.time(),
         "environment": {
@@ -207,12 +308,16 @@ def run_suite(smoke: bool, repeats: Optional[int], seed: int) -> dict:
             "timer": "best-of-repeats wall clock",
         },
         "results": results,
+        "rlwe": rlwe_results,
         "modeled": modeled_gate(),
     }
     failures = evaluate(report, smoke)
     report["acceptance"] = {
         "max_jobs_overhead": (
             SMOKE_MAX_JOBS_OVERHEAD if smoke else FULL_MAX_JOBS_OVERHEAD
+        ),
+        "rlwe_fused_speedup_floor": (
+            None if smoke else RLWE_FUSED_SPEEDUP_FLOOR
         ),
         "failures": failures,
         "passed": not failures,
@@ -256,6 +361,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if json_path is None and not args.smoke:
         json_path = DEFAULT_JSON
     if json_path is not None:
+        json_path.parent.mkdir(parents=True, exist_ok=True)
         json_path.write_text(json.dumps(report, indent=2) + "\n")
         print(f"\nwrote {json_path}")
     if not args.smoke:

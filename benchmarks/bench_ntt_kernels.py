@@ -3,7 +3,10 @@
 Standalone benchmark (also importable under pytest) comparing the two
 stage-DFT backends of :mod:`repro.ntt.kernels` on the forward NTT at
 several batch sizes, cross-checking bit-exactness on every
-measurement.  Results go to two places:
+measurement, plus the fused-negacyclic gate: the ψ-fused plans must be
+bit-identical to the explicit-twist ``loop``-kernel oracle and at
+least as fast as the unfused limb-matmul route on a full
+forward+pointwise+inverse ring product.  Results go to two places:
 
 - ``BENCH_ntt_kernels.json`` at the repo root — the machine-readable
   perf-trajectory point (first of its series);
@@ -15,9 +18,10 @@ Usage::
     python benchmarks/bench_ntt_kernels.py --smoke    # CI: 4K points
 
 Exit status is non-zero if the limb-matmul backend loses bit-exactness
-anywhere or regresses below 1× the loop backend; the full run
-additionally enforces the ≥3× acceptance threshold on the single-shot
-(batch = 1) 64K-point transform.
+anywhere, regresses below 1× the loop backend, or the fused negacyclic
+path loses bit-identity / drops below 1× the unfused path; the full
+run additionally enforces the ≥3× acceptance threshold on the
+single-shot (batch = 1) 64K-point transform.
 """
 
 from __future__ import annotations
@@ -41,7 +45,10 @@ from repro.ntt.kernels import (  # noqa: E402
     KERNEL_LIMB_MATMUL,
     KERNEL_LOOP,
 )
-from repro.ntt.plan import plan_for_size  # noqa: E402
+from repro.ntt.negacyclic import (  # noqa: E402
+    negacyclic_convolution_many,
+)
+from repro.ntt.plan import TWIST_NEGACYCLIC, plan_for_size  # noqa: E402
 from repro.ntt.staged import execute_plan_batch  # noqa: E402
 
 DEFAULT_JSON = REPO_ROOT / "BENCH_ntt_kernels.json"
@@ -53,6 +60,9 @@ OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 MIN_SPEEDUP = 1.0
 ACCEPTANCE_SPEEDUP = 3.0
 ACCEPTANCE_N = 65536
+#: The fused negacyclic route strictly removes vector passes, so it
+#: must never lose to the explicit-twist route (ISSUE 5).
+MIN_NEGACYCLIC_SPEEDUP = 1.0
 
 
 def _best_time(fn, repeats: int) -> float:
@@ -90,6 +100,57 @@ def run_case(n: int, radices, batch: int, repeats: int, seed: int) -> dict:
     }
 
 
+def run_negacyclic_case(
+    n: int, radices, batch: int, repeats: int, seed: int
+) -> dict:
+    """Fused vs explicit-twist negacyclic ring product at one point.
+
+    Exactness: the fused plans (both kernels) must reproduce the
+    explicit-twist ``loop``-kernel oracle bit for bit.  Speed: the
+    fused limb-matmul route is timed against the unfused limb-matmul
+    route on a full ``negacyclic_convolution_many`` (forward +
+    pointwise + inverse), the RLWE ring-product shape.
+    """
+    oracle_plan = plan_for_size(n, radices, kernel=KERNEL_LOOP)
+    unfused_plan = plan_for_size(n, radices, kernel=KERNEL_LIMB_MATMUL)
+    fused_plan = plan_for_size(
+        n, radices, kernel=KERNEL_LIMB_MATMUL, twist=TWIST_NEGACYCLIC
+    )
+    fused_loop_plan = plan_for_size(
+        n, radices, kernel=KERNEL_LOOP, twist=TWIST_NEGACYCLIC
+    )
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, P, size=(batch, n), dtype=np.uint64)
+    b = rng.integers(0, P, size=(batch, n), dtype=np.uint64)
+
+    oracle = negacyclic_convolution_many(a, b, oracle_plan)
+    fused_out = negacyclic_convolution_many(a, b, fused_plan)
+    fused_loop_out = negacyclic_convolution_many(a, b, fused_loop_plan)
+    unfused_out = negacyclic_convolution_many(a, b, unfused_plan)
+    bit_exact = bool(
+        np.array_equal(oracle, fused_out)
+        and np.array_equal(oracle, fused_loop_out)
+        and np.array_equal(oracle, unfused_out)
+    )
+
+    unfused_s = _best_time(
+        lambda: negacyclic_convolution_many(a, b, unfused_plan), repeats
+    )
+    fused_s = _best_time(
+        lambda: negacyclic_convolution_many(a, b, fused_plan), repeats
+    )
+    return {
+        "n": n,
+        "radices": list(radices),
+        "batch": batch,
+        "unfused_s": unfused_s,
+        "fused_s": fused_s,
+        "speedup": unfused_s / fused_s,
+        "fused_products_per_s": batch / fused_s,
+        "bit_exact": bit_exact,
+    }
+
+
 def render_table(results: List[dict]) -> str:
     lines = [
         "NTT stage-kernel backends: loop vs limb-matmul (forward NTT)",
@@ -106,7 +167,28 @@ def render_table(results: List[dict]) -> str:
     return "\n".join(lines)
 
 
-def evaluate(results: List[dict], smoke: bool) -> List[str]:
+def render_negacyclic_table(results: List[dict]) -> str:
+    lines = [
+        "",
+        "fused negacyclic ring products: psi-fused plans vs explicit twist",
+        "",
+        f"{'n':>7} {'batch':>6} {'unfused s':>10} {'fused s':>10} "
+        f"{'speedup':>8} {'exact':>6}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r['n']:>7} {r['batch']:>6} {r['unfused_s']:>10.4f} "
+            f"{r['fused_s']:>10.4f} {r['speedup']:>7.2f}x "
+            f"{'yes' if r['bit_exact'] else 'NO':>6}"
+        )
+    return "\n".join(lines)
+
+
+def evaluate(
+    results: List[dict],
+    smoke: bool,
+    negacyclic: Optional[List[dict]] = None,
+) -> List[str]:
     """Gate failures (empty list == pass)."""
     failures = []
     for r in results:
@@ -117,6 +199,18 @@ def evaluate(results: List[dict], smoke: bool) -> List[str]:
             failures.append(
                 f"{tag}: limb-matmul regressed to "
                 f"{r['speedup']:.2f}x (< {MIN_SPEEDUP}x loop)"
+            )
+    for r in negacyclic or []:
+        tag = f"negacyclic n={r['n']} batch={r['batch']}"
+        if not r["bit_exact"]:
+            failures.append(
+                f"{tag}: fused output diverged from the explicit-twist "
+                f"loop oracle"
+            )
+        if r["speedup"] < MIN_NEGACYCLIC_SPEEDUP:
+            failures.append(
+                f"{tag}: fused route regressed to {r['speedup']:.2f}x "
+                f"(< {MIN_NEGACYCLIC_SPEEDUP}x the unfused path)"
             )
     if not smoke:
         single = [
@@ -140,18 +234,32 @@ def evaluate(results: List[dict], smoke: bool) -> List[str]:
 def run_suite(smoke: bool, repeats: Optional[int], seed: int) -> dict:
     if smoke:
         cases = [(4096, (64, 64), b) for b in (1, 8)]
+        negacyclic_cases = [(4096, (64, 64), 4)]
         repeats = repeats or 2
     else:
         cases = [(65536, (64, 64, 16), b) for b in (1, 8, 32)]
+        negacyclic_cases = [
+            (65536, (64, 64, 16), 1),
+            (65536, (64, 64, 16), 4),
+        ]
         repeats = repeats or 3
     results = [
         run_case(n, radices, batch, repeats, seed + i)
         for i, (n, radices, batch) in enumerate(cases)
     ]
-    failures = evaluate(results, smoke)
+    # The fused-vs-unfused margin is a handful of vector passes, so
+    # the negacyclic gate takes extra repeats: best-of-N timing keeps
+    # scheduler noise from swamping a strictly-less-work comparison.
+    negacyclic_results = [
+        run_negacyclic_case(
+            n, radices, batch, max(repeats, 5), seed + 100 + i
+        )
+        for i, (n, radices, batch) in enumerate(negacyclic_cases)
+    ]
+    failures = evaluate(results, smoke, negacyclic_results)
     return {
         "benchmark": "ntt_kernels",
-        "schema_version": 1,
+        "schema_version": 2,
         "mode": "smoke" if smoke else "full",
         "created_unix": time.time(),
         "environment": {
@@ -165,8 +273,10 @@ def run_suite(smoke: bool, repeats: Optional[int], seed: int) -> dict:
             "timer": "best-of-repeats wall clock",
         },
         "results": results,
+        "negacyclic": negacyclic_results,
         "acceptance": {
             "min_speedup": MIN_SPEEDUP,
+            "min_negacyclic_speedup": MIN_NEGACYCLIC_SPEEDUP,
             "single_shot_threshold": (
                 None if smoke else ACCEPTANCE_SPEEDUP
             ),
@@ -205,13 +315,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     report = run_suite(args.smoke, args.repeats, args.seed)
-    table = render_table(report["results"])
+    table = render_table(report["results"]) + "\n" + render_negacyclic_table(
+        report["negacyclic"]
+    )
     print(table)
 
     json_path = args.json
     if json_path is None and not args.smoke:
         json_path = DEFAULT_JSON
     if json_path is not None:
+        json_path.parent.mkdir(parents=True, exist_ok=True)
         json_path.write_text(json.dumps(report, indent=2) + "\n")
         print(f"\nwrote {json_path}")
     if not args.smoke:
@@ -224,7 +337,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("\nPASS: bit-exact everywhere, speedup gates met")
+    print(
+        "\nPASS: bit-exact everywhere (fused negacyclic included), "
+        "speedup gates met"
+    )
     return 0
 
 

@@ -307,6 +307,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if json_path is None and not args.smoke:
         json_path = DEFAULT_JSON
     if json_path is not None:
+        json_path.parent.mkdir(parents=True, exist_ok=True)
         json_path.write_text(json.dumps(report, indent=2) + "\n")
         print(f"\nwrote {json_path}")
     if not args.smoke:

@@ -239,12 +239,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(text)
     output = args.output
     if output is None:
-        OUTPUT_DIR.mkdir(exist_ok=True)
         output = OUTPUT_DIR / "trajectory.txt"
+    output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(text + "\n")
     print(f"\nwrote {output}")
-    if maybe_png(series, OUTPUT_DIR / "trajectory.png"):
-        print(f"wrote {OUTPUT_DIR / 'trajectory.png'}")
+    # The PNG render lands next to the text output, so CI can publish
+    # both from one artifact directory.
+    png_path = output.with_suffix(".png")
+    if maybe_png(series, png_path):
+        print(f"wrote {png_path}")
     return 0
 
 

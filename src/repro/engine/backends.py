@@ -284,6 +284,7 @@ class SoftwareMPBackend(SoftwareBackend):
                 plan.radices,
                 values[rows],
                 inverse,
+                plan.twist,
             )
             for rows in self._shards(engine, batch)
         ]

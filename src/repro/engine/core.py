@@ -130,17 +130,20 @@ class Engine:
         radices: Optional[Sequence[int]] = None,
         omega: Optional[int] = None,
         kernel: Optional[str] = None,
+        twist: str = "",
     ) -> TransformPlan:
         """An ``n``-point plan from the engine's cache.
 
         ``kernel`` defaults to the engine's configured kernel (never to
         the environment — that was resolved at config construction).
+        ``twist=TWIST_NEGACYCLIC`` yields the fused negacyclic variant
+        (see :meth:`repro.ntt.plan.PlanCache.plan_for_size`).
         """
         kernel = kernel if kernel is not None else self.config.kernel
         cache = self._plan_cache
         if cache is None:  # cache="off": build fresh, keep nothing
             cache = PlanCache()
-        return cache.plan_for_size(n, radices, omega, kernel)
+        return cache.plan_for_size(n, radices, omega, kernel, twist)
 
     def ring(
         self, n: int, radices: Optional[Sequence[int]] = None
@@ -305,16 +308,23 @@ class Engine:
           cycle-counted);
         - :class:`repro.fhe.rlwe.RLWEParams` → an
           :class:`repro.fhe.RLWE` instance whose negacyclic ring
-          products use the engine's plan (kernel and cache included).
+          products use the engine's *fused* negacyclic plan (kernel and
+          cache included) — ψ-twist and untwist folded into the stage
+          constants, zero extra vector passes per ring product.
         """
         from repro.fhe.dghv import DGHV
         from repro.fhe.params import FHEParams, TOY
         from repro.fhe.rlwe import RLWE, RLWEParams
+        from repro.ntt.plan import TWIST_NEGACYCLIC
 
         if params is None:
             params = TOY
         if isinstance(params, RLWEParams):
-            return RLWE(params, rng=rng, plan=self.plan(params.n))
+            return RLWE(
+                params,
+                rng=rng,
+                plan=self.plan(params.n, twist=TWIST_NEGACYCLIC),
+            )
         if isinstance(params, FHEParams):
             return DGHV(
                 params, multiplier=EngineMultiplier(self), rng=rng

@@ -68,14 +68,21 @@ def transform_shard(
     radices: Optional[Tuple[int, ...]],
     rows: np.ndarray,
     inverse: bool,
+    twist: str = "",
 ) -> np.ndarray:
-    """One contiguous row-shard of a ``(batch, n)`` transform."""
+    """One contiguous row-shard of a ``(batch, n)`` transform.
+
+    ``twist`` travels with the shard so a fused negacyclic parent plan
+    is rebuilt as the *same* fused plan in the worker — the constants
+    are derived deterministically, so shard results stay bit-identical
+    to the parent's in-process path.
+    """
     from repro.ntt.staged import (
         execute_plan_batch,
         execute_plan_inverse_batch,
     )
 
-    plan = _engine().plan(n, radices)
+    plan = _engine().plan(n, radices, twist=twist)
     if inverse:
         return execute_plan_inverse_batch(rows, plan)
     return execute_plan_batch(rows, plan)

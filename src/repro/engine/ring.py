@@ -13,17 +13,24 @@ across the batch (the RLWE secret-key shape).
 All transforms are routed through the owning engine's backend, so the
 same ring runs on the staged software executor or on the cycle-counted
 accelerator model — bit-identically.
+
+Negacyclic operations execute *fused* plans
+(:data:`repro.ntt.plan.TWIST_NEGACYCLIC`): the ψ-twist/untwist lives in
+the stage constants, so ``negacyclic_forward`` / ``negacyclic_inverse``
+and ``convolve(negacyclic=True)`` are plain plan executions with zero
+extra vector passes, on every backend.  The fused companion plan is
+built lazily from the engine's cache the first time a ring touches the
+``x^n + 1`` algebra.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.field.vector import vmul
-from repro.ntt.negacyclic import twist_tables
-from repro.ntt.plan import TransformPlan
+from repro.ntt.plan import TWIST_NEGACYCLIC, TransformPlan
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.core import Engine
@@ -52,6 +59,7 @@ class Ring:
     def __init__(self, engine: "Engine", plan: TransformPlan):
         self._engine = engine
         self._plan = plan
+        self._nega_plan: Optional[TransformPlan] = None
 
     @property
     def n(self) -> int:
@@ -62,6 +70,15 @@ class Ring:
     def plan(self) -> TransformPlan:
         """The underlying precomputed transform plan."""
         return self._plan
+
+    @property
+    def negacyclic_plan(self) -> TransformPlan:
+        """The fused negacyclic companion plan (built on first use)."""
+        if self._nega_plan is None:
+            self._nega_plan = self._engine.plan(
+                self.n, self._plan.radices, twist=TWIST_NEGACYCLIC
+            )
+        return self._nega_plan
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -85,20 +102,27 @@ class Ring:
         return out[0] if flat else out
 
     def negacyclic_forward(self, values: np.ndarray) -> np.ndarray:
-        """ψ-twisted forward spectrum (for explicit spectrum reuse)."""
+        """ψ-twisted forward spectrum (for explicit spectrum reuse).
+
+        One fused plan execution — the twist is baked into the plan's
+        first-stage constants, not paid as a vector pass.
+        """
         rows, flat = _as_rows(values, self.n)
-        twist, _ = twist_tables(self.n)
         out = self._engine._transform(
-            self._plan, vmul(rows, twist[np.newaxis, :]), inverse=False
+            self.negacyclic_plan, rows, inverse=False
         )
         return out[0] if flat else out
 
     def negacyclic_inverse(self, values: np.ndarray) -> np.ndarray:
-        """Inverse of :meth:`negacyclic_forward` (untwisted rows)."""
+        """Inverse of :meth:`negacyclic_forward` (untwisted rows).
+
+        One fused plan execution — untwist and ``n^{-1}`` live in the
+        inverse companion's stage constants.
+        """
         rows, flat = _as_rows(values, self.n)
-        _, untwist = twist_tables(self.n)
-        product = self._engine._transform(self._plan, rows, inverse=True)
-        out = vmul(product, untwist[np.newaxis, :], out=product)
+        out = self._engine._transform(
+            self.negacyclic_plan, rows, inverse=True
+        )
         return out[0] if flat else out
 
     def pointwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -118,18 +142,19 @@ class Ring:
         ``(B, n)``; ``(B, n)·(n,)`` (either order) broadcasts the fixed
         operand's spectrum across the batch, paying ``B + 1`` forward
         transforms instead of ``2B``.
+
+        The negacyclic flavor dispatches the fused plan — same transform
+        count as the cyclic one, with the twist folded into the stage
+        constants instead of costing per-operand vector passes.
         """
         rows_a, flat_a = _as_rows(a, self.n)
         rows_b, flat_b = _as_rows(b, self.n)
-        if negacyclic:
-            twist, untwist = twist_tables(self.n)
-            rows_a = vmul(rows_a, twist[np.newaxis, :])
-            rows_b = vmul(rows_b, twist[np.newaxis, :])
+        plan = self.negacyclic_plan if negacyclic else self._plan
 
         batch_a, batch_b = rows_a.shape[0], rows_b.shape[0]
         if batch_a == batch_b:
             spectra = self._engine._transform(
-                self._plan, np.concatenate([rows_a, rows_b], axis=0)
+                plan, np.concatenate([rows_a, rows_b], axis=0)
             )
             spectrum = vmul(
                 spectra[:batch_a],
@@ -141,7 +166,7 @@ class Ring:
                 rows_a, rows_b = rows_b, rows_a
                 batch_a, batch_b = batch_b, batch_a
             spectra = self._engine._transform(
-                self._plan, np.concatenate([rows_a, rows_b], axis=0)
+                plan, np.concatenate([rows_a, rows_b], axis=0)
             )
             spectrum = vmul(spectra[:-1], spectra[-1:], out=spectra[:-1])
         else:
@@ -150,9 +175,7 @@ class Ring:
                 f"polynomial); got {batch_a} and {batch_b} rows"
             )
 
-        product = self._engine._transform(self._plan, spectrum, inverse=True)
-        if negacyclic:
-            product = vmul(product, untwist[np.newaxis, :], out=product)
+        product = self._engine._transform(plan, spectrum, inverse=True)
         return product[0] if flat_a and flat_b else product
 
     def negacyclic_convolve(

@@ -23,7 +23,13 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.field.solinas import P
-from repro.field.vector import vadd, vmul, vsub, to_field_array
+from repro.field.vector import (
+    to_field_array,
+    to_field_matrix,
+    vadd,
+    vmul,
+    vsub,
+)
 from repro.ntt.plan import TransformPlan
 from repro.ntt.negacyclic import (
     negacyclic_convolution,
@@ -75,9 +81,13 @@ class RLWE:
     ):
         """``plan`` (optional) pins every ring product to a prebuilt
         transform plan — this is how :meth:`repro.engine.Engine.fhe`
-        binds an RLWE context to a per-engine plan cache and kernel.
-        ``None`` keeps the historical behaviour (the module-global
-        plan cache, consulted per convolution)."""
+        binds an RLWE context to a per-engine plan cache and kernel
+        (it passes the *fused* negacyclic plan, so every ring product
+        skips the ψ-twist/untwist vector passes).  ``None`` consults
+        the module-global plan cache per convolution, which likewise
+        resolves to the fused plan; passing an unfused cyclic plan
+        pins the explicit-twist oracle route instead — all three are
+        bit-identical."""
         params.validate()
         if plan is not None and plan.n != params.n:
             raise ValueError(
@@ -232,7 +242,10 @@ class RLWE:
         Every ``c0``, ``c1`` and plaintext polynomial is forward-
         transformed exactly once (``3·B`` transforms, each plaintext
         spectrum reused against both ciphertext halves); bit-identical
-        to looping :meth:`multiply_plain`.
+        to looping :meth:`multiply_plain`.  On a fused plan this is
+        the leanest RLWE hot path in the library: ``5·B`` plan
+        executions and the ``2·B``-row pointwise product, with no
+        twist/untwist/scale passes at all.
         """
         cts = list(cts)
         plains = [list(plain) for plain in plains]
@@ -244,7 +257,7 @@ class RLWE:
         if not cts:
             return []
         batch = len(cts)
-        polys = np.vstack([to_field_array(plain) for plain in plains])
+        polys = to_field_matrix(plains)
         stacked = np.vstack(
             [np.vstack([ct.c0 for ct in cts]), np.vstack([ct.c1 for ct in cts])]
         )

@@ -38,6 +38,36 @@ def from_field_array(array: np.ndarray) -> List[int]:
     return [int(v) for v in array]
 
 
+def to_field_matrix(rows) -> np.ndarray:
+    """Convert a sequence of equal-length int rows to a canonical
+    ``(batch, n)`` uint64 matrix.
+
+    Fast paths: ``uint64`` rows canonicalize with one conditional
+    subtraction (``x < 2**64 < 2p``, so ``x mod p`` is ``x`` or
+    ``x − p``); rows of any other integer dtype convert through
+    ``int64`` in one vectorized pass — non-negative values are
+    canonical as-is (``2**63 − 1 < p``), and a negative ``x`` lands at
+    ``x + 2**64`` after the unsigned cast, which is
+    ``x + epsilon (mod p)``, so subtracting ``epsilon`` restores
+    ``x + p``, canonical for any ``x ≥ −2**63``.  Everything else
+    (Python ints beyond int64, ragged input, floats) falls back to the
+    exact per-element :func:`to_field_array` route.
+    """
+    try:
+        arr = np.asarray(rows)
+    except ValueError:  # ragged rows — let np.stack report it
+        arr = None
+    if arr is not None and arr.dtype.kind in "iu":
+        if arr.dtype == np.uint64:
+            out = arr.astype(np.uint64, copy=True)
+            out[out >= _P64] -= _P64
+            return out
+        signed = arr.astype(np.int64)  # every other int dtype fits
+        out = signed.astype(np.uint64)
+        return np.where(signed < 0, out - _EPSILON, out)
+    return np.stack([to_field_array(row) for row in rows])
+
+
 def vadd(
     a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
 ) -> np.ndarray:

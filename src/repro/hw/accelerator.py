@@ -43,6 +43,7 @@ from repro.hw.timing import (
     DOT_PRODUCT_MULTIPLIERS,
 )
 from repro.ntt.kernels import stage_executor
+from repro.ntt.negacyclic import twist_tables
 from repro.ntt.plan import TransformPlan, paper_64k_plan
 from repro.sim.trace import Timeline
 from repro.ssa.carry import carry_recover
@@ -409,7 +410,17 @@ class HEAccelerator:
         """Run one transform across the PEs.
 
         Returns the transformed vector (natural order, scaled by
-        ``n^{-1}`` when ``inverse``) and the cycle report.
+        ``n^{-1}`` when ``inverse`` — already folded into the stages
+        for fused negacyclic plans) and the cycle report.
+
+        A fused negacyclic plan runs on ``fast`` fidelity exactly like
+        a cyclic one (the stage kernels are constant-agnostic, so the
+        twist rides in the stage tables at zero extra passes and an
+        unchanged cycle schedule); ``datapath`` fidelity instead walks
+        the plan's cyclic base with the explicit ψ-twist, because the
+        shift-only FFT-64 unit evaluates plain DFT webs only — the
+        cycle report stays the honest beat-exact schedule, and the
+        values stay bit-identical to the fused fast path.
         """
         plan = self.plan.inverse_plan if inverse else self.plan
         if plan is None:
@@ -420,6 +431,8 @@ class HEAccelerator:
             raise ValueError(f"unknown fidelity {fidelity!r}")
 
         data = np.ascontiguousarray(values, dtype=np.uint64)
+        if self.plan.twist and fidelity == "datapath":
+            return self._datapath_negacyclic(data, inverse)
         for index in range(len(plan.stages)):
             if fidelity == "fast":
                 data = self._run_stage_fast(data, plan, index)
@@ -430,8 +443,34 @@ class HEAccelerator:
         # Fancy indexing copies, so the caller never holds a view of the
         # reusable stage buffers.
         out = data[plan.output_permutation]
+        if inverse and not self.plan.twist:
+            vmul(out, np.broadcast_to(plan.n_inv, out.shape), out=out)
+        return out, report
+
+    def _datapath_negacyclic(
+        self, data: np.ndarray, inverse: bool
+    ) -> Tuple[np.ndarray, DistributedFFTReport]:
+        """Beat-exact route of a fused plan: explicit twist + base walk.
+
+        The fused stage constants cannot run through the shift-only
+        FFT-64 unit model, so datapath fidelity applies the ψ-twist /
+        ψ⁻¹-untwist explicitly around the cyclic ``base_plan``'s
+        per-beat stage walk.  Output bits match the fused fast path.
+        """
+        base = self.plan.base_plan
+        if base is None:  # pragma: no cover - fused plans always carry it
+            raise ValueError("fused plan carries no cyclic base plan")
+        plan = base.inverse_plan if inverse else base
+        forward_tab, backward_tab = twist_tables(base.n)
+        if not inverse:
+            data = vmul(data, forward_tab)
+        for index in range(len(plan.stages)):
+            data = self._run_stage_datapath(data, plan, index, inverse)
+        report = self._timing_report(plan)
+        out = data[plan.output_permutation]
         if inverse:
             vmul(out, np.broadcast_to(plan.n_inv, out.shape), out=out)
+            vmul(out, backward_tab, out=out)
         return out, report
 
     def distributed_ntt_batch(
@@ -450,6 +489,12 @@ class HEAccelerator:
         (:class:`DistributedFFTBatchReport`).  ``datapath`` fidelity
         keeps the beat-exact per-row walk.  Values are bit-identical to
         looping :meth:`distributed_ntt` in both fidelities.
+
+        Fused negacyclic plans drop the two modeled full-vector twist
+        passes entirely: the twist constants ride inside the stage
+        tables, so the batch streams through the identical per-row
+        stage schedule a cyclic transform pays — ring products cost
+        exactly one forward + one inverse pass each way.
         """
         plan = self.plan.inverse_plan if inverse else self.plan
         if plan is None:
@@ -481,7 +526,7 @@ class HEAccelerator:
             data = self._run_stage_fast_batch(data, plan, index)
         per_row = self._timing_report(plan, rows=rows)
         out = data[:, plan.output_permutation]
-        if inverse:
+        if inverse and not self.plan.twist:
             vmul(out, np.broadcast_to(plan.n_inv, out.shape), out=out)
         return out, DistributedFFTBatchReport(
             rows=rows, per_row=per_row, clock_ns=self.clock_ns
@@ -642,6 +687,11 @@ class HEAccelerator:
         self, a: int, b: int, fidelity: str = "fast"
     ) -> Tuple[int, MultiplyReport]:
         """Exact product plus the Section V phase timing."""
+        if self.plan.twist:
+            raise ValueError(
+                "SSA multiplication needs a cyclic plan; this "
+                f"accelerator holds a {self.plan.twist!r}-fused one"
+            )
         report = MultiplyReport(clock_ns=self.clock_ns)
 
         vec_a = decompose(a, self.params)

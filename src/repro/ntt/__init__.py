@@ -40,6 +40,7 @@ from repro.ntt.kernels import (
 )
 from repro.ntt.plan import (
     DEFAULT_PLAN_CACHE,
+    TWIST_NEGACYCLIC,
     PlanCache,
     PlanCacheStats,
     TransformPlan,
@@ -92,6 +93,7 @@ __all__ = [
     "PlanCache",
     "PlanCacheStats",
     "DEFAULT_PLAN_CACHE",
+    "TWIST_NEGACYCLIC",
     "clear_plan_cache",
     "paper_64k_plan",
     "plan_cache_stats",

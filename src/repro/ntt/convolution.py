@@ -68,6 +68,13 @@ def cyclic_convolution_many(
         plan = plan_for_size(n)
     if plan.n != n:
         raise ValueError("plan size does not match input length")
+    if plan.twist:
+        # A fused plan computes the *negacyclic* transform directly;
+        # running it here would silently wrap with the wrong sign.
+        raise ValueError(
+            "cyclic convolution requires an untwisted plan; got a "
+            f"{plan.twist!r}-fused plan"
+        )
     spectra = execute_plan_batch(np.concatenate([a, b], axis=0), plan)
     spectrum = pointwise_mul(spectra[:batch], spectra[batch:])
     return execute_plan_inverse_batch(spectrum, plan)

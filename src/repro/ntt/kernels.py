@@ -31,6 +31,15 @@ stage contract ``out[b, k, m] = Σ_i  M[k, i] · x[b, i, m]  (mod p)``:
 The backend is chosen per plan (``plan_for_size(..., kernel=...)``),
 with the :data:`KERNEL_ENV_VAR` environment variable overriding the
 default for unpinned callers.
+
+Both kernels are *constant-agnostic*: a stage matrix is any canonical
+uint64 residue matrix, so the fused negacyclic stage specs
+(:func:`repro.ntt.plan._fuse_negacyclic` scales DFT columns/rows and
+twiddle tables by ψ-twist factors mod p) run through the identical
+code paths and the identical exactness argument — limb products and
+weight-plane sums depend only on the 16-bit limb geometry and the
+radix, never on which constants fill the matrix, so every fused
+accumulation stays below the same ``2**40 ≪ 2**53`` bound.
 """
 
 from __future__ import annotations

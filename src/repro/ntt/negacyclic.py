@@ -9,6 +9,15 @@ classic ψ-twist: scale input ``i`` by ``ψ^i`` (ψ a primitive 2n-th
 root, ``ψ² = ω``), run the ordinary cyclic NTT of size ``n``, and
 untwist by ``ψ^{-i}``.  The same FFT hardware serves both convolution
 flavors; only the twiddle constants change.
+
+By default every function here executes a *fused* plan
+(:data:`repro.ntt.plan.TWIST_NEGACYCLIC`): the ψ-twist lives in the
+first-stage DFT/twiddle constants and the ψ⁻¹-untwist plus ``n^{-1}``
+in the inverse companion's stages, so a negacyclic transform is one
+plain plan execution — the two full-vector twist ``vmul`` passes (and
+the inverse scale pass) disappear.  Passing an unfused plan keeps the
+historical explicit-twist route, which doubles as the bit-exactness
+oracle for the fused constants.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import numpy as np
 from repro.field.roots import root_of_unity
 from repro.field.solinas import P, inverse, pow_mod
 from repro.field.vector import vmul
-from repro.ntt.plan import TransformPlan, plan_for_size
+from repro.ntt.plan import TWIST_NEGACYCLIC, TransformPlan, plan_for_size
 from repro.ntt.staged import execute_plan_batch, execute_plan_inverse_batch
 
 
@@ -50,6 +59,20 @@ def twist_tables(n: int) -> Tuple[np.ndarray, np.ndarray]:
 
 #: Back-compat alias (pre-engine internal name).
 _twist_tables = twist_tables
+
+
+def _negacyclic_plan(n: int, plan: Optional[TransformPlan]) -> TransformPlan:
+    """Resolve the plan for an ``n``-point negacyclic operation.
+
+    ``None`` builds (and caches) the fused negacyclic plan; an explicit
+    plan — fused or not — is validated and used as given, so callers
+    can pin the explicit-twist oracle route by passing a cyclic plan.
+    """
+    if plan is None:
+        return plan_for_size(n, twist=TWIST_NEGACYCLIC)
+    if plan.n != n:
+        raise ValueError("plan size does not match input length")
+    return plan
 
 
 def negacyclic_convolution(
@@ -91,10 +114,7 @@ def negacyclic_convolution_many(
     batch, n = a.shape
     if n == 0 or n & (n - 1):
         raise ValueError("length must be a power of two")
-    if plan is None:
-        plan = plan_for_size(n)
-    if plan.n != n:
-        raise ValueError("plan size does not match input length")
+    plan = _negacyclic_plan(n, plan)
     spectra = negacyclic_transform_many(np.concatenate([a, b], axis=0), plan)
     # The pointwise product may overwrite the first half of the owned
     # spectra matrix instead of allocating a fresh one.
@@ -122,8 +142,7 @@ def negacyclic_convolution_broadcast(
         raise ValueError(
             "expected a (batch, n) matrix and a length-n polynomial"
         )
-    if plan is None:
-        plan = plan_for_size(a.shape[1])
+    plan = _negacyclic_plan(a.shape[1], plan)
     spectra = negacyclic_transform_many(
         np.concatenate([a, b[np.newaxis, :]], axis=0), plan
     )
@@ -138,6 +157,9 @@ def negacyclic_transform_many(
     Together with :func:`negacyclic_inverse_many` this exposes the two
     halves of the convolution so callers can reuse spectra (e.g. one
     plaintext spectrum against both halves of an RLWE ciphertext).
+    Spectra are identical bits whichever plan flavor computes them: a
+    fused plan folds the twist into its first stage, an unfused plan
+    pays the explicit twist ``vmul`` first.
     """
     polys = np.ascontiguousarray(polys, dtype=np.uint64)
     if polys.ndim != 2:
@@ -145,10 +167,9 @@ def negacyclic_transform_many(
     n = polys.shape[1]
     if n == 0 or n & (n - 1):
         raise ValueError("length must be a power of two")
-    if plan is None:
-        plan = plan_for_size(n)
-    if plan.n != n:
-        raise ValueError("plan size does not match input length")
+    plan = _negacyclic_plan(n, plan)
+    if plan.twist == TWIST_NEGACYCLIC:
+        return execute_plan_batch(polys, plan)
     forward, _ = twist_tables(n)
     return execute_plan_batch(vmul(polys, forward[np.newaxis, :]), plan)
 
@@ -156,15 +177,19 @@ def negacyclic_transform_many(
 def negacyclic_inverse_many(
     spectra: np.ndarray, plan: Optional[TransformPlan] = None
 ) -> np.ndarray:
-    """Inverse of :func:`negacyclic_transform_many`: untwisted rows."""
+    """Inverse of :func:`negacyclic_transform_many`: untwisted rows.
+
+    On a fused plan the untwist (and ``n^{-1}``) live in the inverse
+    stages, so this is one plain plan execution with no trailing
+    vector passes.
+    """
     spectra = np.ascontiguousarray(spectra, dtype=np.uint64)
     if spectra.ndim != 2:
         raise ValueError("expected a (batch, n) matrix")
     n = spectra.shape[1]
-    if plan is None:
-        plan = plan_for_size(n)
-    if plan.n != n:
-        raise ValueError("plan size does not match input length")
+    plan = _negacyclic_plan(n, plan)
+    if plan.twist == TWIST_NEGACYCLIC:
+        return execute_plan_inverse_batch(spectra, plan)
     _, backward = twist_tables(n)
     product = execute_plan_inverse_batch(spectra, plan)
     # `product` is freshly owned by this call: untwist in place.

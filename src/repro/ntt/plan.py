@@ -24,12 +24,19 @@ import numpy as np
 
 from repro.field.roots import root_of_unity
 from repro.field.solinas import P, inverse, pow_mod
-from repro.field.vector import to_field_array
+from repro.field.vector import to_field_array, vmul
 from repro.ntt.kernels import limb_decompose_matrix, resolve_kernel
 
 #: The paper's operating point (Section III).
 PAPER_TRANSFORM_SIZE = 65536
 PAPER_RADICES = (64, 64, 16)
+
+#: ``TransformPlan.twist`` value of a fused negacyclic plan: the ψ-twist
+#: is folded into the first-stage constants and the ψ⁻¹-untwist (plus
+#: the ``n^{-1}`` scale) into the inverse companion's stage constants,
+#: so ``x^n + 1`` ring products run as plain plan executions with zero
+#: extra vector passes (see :func:`_fuse_negacyclic`).
+TWIST_NEGACYCLIC = "negacyclic"
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,20 @@ class TransformPlan:
     #: ``"limb-matmul"`` (see :mod:`repro.ntt.kernels`).  An empty
     #: string resolves to the process default at construction.
     kernel: str = field(default="", compare=False)
+    #: ``""`` for a plain cyclic plan; :data:`TWIST_NEGACYCLIC` when the
+    #: negacyclic ψ-twist/untwist (and the inverse ``n^{-1}`` scale) are
+    #: folded into the stage constants.  Executing a fused plan computes
+    #: the *negacyclic* transform directly — cyclic callers must reject
+    #: it.
+    twist: str = field(default="", compare=False)
+    #: For fused plans: the plain cyclic plan the fused constants were
+    #: derived from (same ``n``/``radices``/``omega``/``kernel``).  The
+    #: hw-model's datapath fidelity walks this plan with the explicit
+    #: twist, since the shift-only FFT-64 unit only evaluates plain DFT
+    #: webs.
+    base_plan: Optional["TransformPlan"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         # Directly-constructed plans (tests build corrupted copies) must
@@ -182,6 +203,118 @@ def _build(
     )
 
 
+def _fuse_negacyclic(base: TransformPlan) -> TransformPlan:
+    """A fused negacyclic plan pair derived from a cyclic ``base`` plan.
+
+    Forward: the input twist ``x_i ← ψ^i·x_i`` (``i = r·tail + t`` at
+    the first stage) splits as ``ψ^{r·tail}·ψ^t``; the ``r``-dependent
+    half scales the first-stage DFT matrix *columns* and the
+    ``t``-dependent half — constant along the radix axis, so it
+    commutes through the stage DFT — folds into the first-stage twiddle
+    table (or vanishes when the plan is single-stage, ``tail = 1``).
+
+    Inverse: the output untwist ``ψ^{-i}`` with
+    ``i = d_1 + R_1·d_2 + R_1R_2·d_3 + …`` factors per digit; the digit
+    ``d_m`` is exactly stage ``m``'s DFT output index and later stages
+    never mix already-produced digit axes, so ``ψ^{-c_m·k}``
+    (``c_m = R_1⋯R_{m-1}``) folds into stage ``m``'s twiddle *rows* —
+    and, for the last stage (no twiddles), into the DFT matrix rows
+    together with the global ``n^{-1}`` scale.
+
+    Every fused table stays a canonical-residue uint64 array, so both
+    stage kernels run unchanged (``StageSpec.__post_init__`` rebuilds
+    the 16-bit limb planes of the fused matrices) and the executor's
+    stage schedule — hence the hw model's cycle ledger — is identical
+    to the base plan's.
+    """
+    # Lazy import: repro.ntt.negacyclic imports this module at top level.
+    from repro.ntt.negacyclic import twist_tables
+
+    if base.inverse_plan is None:
+        raise ValueError("base plan has no inverse companion to fuse")
+    n = base.n
+    forward_tab, backward_tab = twist_tables(n)
+
+    fwd_stages = list(base.stages)
+    first = fwd_stages[0]
+    tail = n // first.radix
+    # ψ^{r·tail} for r in [0, radix): a strided view of the ψ table.
+    col_scale = forward_tab[::tail]
+    matrix = vmul(
+        first.dft_matrix,
+        np.broadcast_to(col_scale[np.newaxis, :], first.dft_matrix.shape),
+    )
+    twiddles = first.twiddles
+    if twiddles is not None:
+        twiddles = vmul(
+            twiddles,
+            np.broadcast_to(forward_tab[np.newaxis, :tail], twiddles.shape),
+        )
+    fwd_stages[0] = StageSpec(
+        radix=first.radix,
+        sub_transforms=first.sub_transforms,
+        dft_matrix=matrix,
+        twiddles=twiddles,
+    )
+
+    ibase = base.inverse_plan
+    inv_stages = list(ibase.stages)
+    digit_weight = 1
+    for index, spec in enumerate(inv_stages):
+        # ψ^{-c_m·k} for k in [0, radix): strided view of the ψ⁻¹ table.
+        row_scale = backward_tab[::digit_weight][: spec.radix]
+        if index < len(inv_stages) - 1:
+            fused_twiddles = vmul(
+                spec.twiddles,
+                np.broadcast_to(
+                    row_scale[:, np.newaxis], spec.twiddles.shape
+                ),
+            )
+            fused_matrix = spec.dft_matrix
+        else:
+            fused_twiddles = None
+            scaled_rows = vmul(
+                row_scale, np.broadcast_to(base.n_inv, row_scale.shape)
+            )
+            fused_matrix = vmul(
+                spec.dft_matrix,
+                np.broadcast_to(
+                    scaled_rows[:, np.newaxis], spec.dft_matrix.shape
+                ),
+            )
+        inv_stages[index] = StageSpec(
+            radix=spec.radix,
+            sub_transforms=spec.sub_transforms,
+            dft_matrix=fused_matrix,
+            twiddles=fused_twiddles,
+        )
+        digit_weight *= spec.radix
+
+    fused_inverse = TransformPlan(
+        n=n,
+        radices=ibase.radices,
+        omega=ibase.omega,
+        stages=tuple(inv_stages),
+        output_permutation=ibase.output_permutation,
+        n_inv=ibase.n_inv,
+        kernel=base.kernel,
+        twist=TWIST_NEGACYCLIC,
+        base_plan=ibase,
+    )
+    return TransformPlan(
+        n=n,
+        radices=base.radices,
+        omega=base.omega,
+        stages=tuple(fwd_stages),
+        output_permutation=base.output_permutation,
+        n_inv=base.n_inv,
+        inverse_plan=fused_inverse,
+        kernel=base.kernel,
+        twist=TWIST_NEGACYCLIC,
+        base_plan=base,
+    )
+
+
 @dataclass(frozen=True)
 class PlanCacheStats:
     """Occupancy and hit/miss counters of a plan cache."""
@@ -194,9 +327,9 @@ class PlanCacheStats:
 class PlanCache:
     """A keyed store of built :class:`TransformPlan` objects.
 
-    Keys are ``(n, radices, omega, kernel)``; a hit returns the very
-    same plan object, so precomputed DFT matrices, twiddle tables and
-    limb planes are shared by every caller of the cache.
+    Keys are ``(n, radices, omega, kernel, twist)``; a hit returns the
+    very same plan object, so precomputed DFT matrices, twiddle tables
+    and limb planes are shared by every caller of the cache.
 
     Historically the library kept one module-global cache; the
     :class:`repro.engine.Engine` façade now owns a *per-engine*
@@ -207,7 +340,7 @@ class PlanCache:
 
     def __init__(self) -> None:
         self._plans: Dict[
-            Tuple[int, Tuple[int, ...], int, str], TransformPlan
+            Tuple[int, Tuple[int, ...], int, str, str], TransformPlan
         ] = {}
         self._hits = 0
         self._misses = 0
@@ -237,6 +370,7 @@ class PlanCache:
         radices: Optional[Sequence[int]] = None,
         omega: Optional[int] = None,
         kernel: Optional[str] = None,
+        twist: str = "",
     ) -> TransformPlan:
         """Build (and cache) a plan for an ``n``-point transform.
 
@@ -248,21 +382,45 @@ class PlanCache:
         ``"limb-matmul"``); ``None`` resolves through the
         ``REPRO_NTT_KERNEL`` environment variable, defaulting to
         ``limb-matmul``.
+
+        ``twist=TWIST_NEGACYCLIC`` returns the fused negacyclic variant
+        (ψ-twist folded into the first-stage constants, ψ⁻¹-untwist and
+        ``n^{-1}`` into the inverse companion's stages); it requires the
+        default primitive root, since ψ is its square root of order
+        ``2n``.  The cyclic base plan is built (and cached) alongside.
         """
         if n & (n - 1) or n == 0:
             raise ValueError("transform size must be a power of two")
+        if twist not in ("", TWIST_NEGACYCLIC):
+            raise ValueError(
+                f"unknown twist {twist!r}; "
+                f"expected '' or {TWIST_NEGACYCLIC!r}"
+            )
+        default_omega = root_of_unity(n)
         if omega is None:
-            omega = root_of_unity(n)
+            omega = default_omega
+        if twist and omega != default_omega:
+            raise ValueError(
+                "fused negacyclic plans require the default primitive "
+                "root (psi is defined as its order-2n square root)"
+            )
         if radices is None:
             radices = _default_radices(n)
         kernel = resolve_kernel(kernel)
-        key = (n, tuple(radices), omega, kernel)
+        key = (n, tuple(radices), omega, kernel, twist)
         plan = self._plans.get(key)
         if plan is None:
             self._misses += 1
-            plan = _build(n, tuple(radices), omega, kernel)
-            backward = _build(n, tuple(radices), inverse(omega), kernel)
-            object.__setattr__(plan, "inverse_plan", backward)
+            if twist:
+                plan = _fuse_negacyclic(
+                    self.plan_for_size(n, radices, omega, kernel)
+                )
+            else:
+                plan = _build(n, tuple(radices), omega, kernel)
+                backward = _build(
+                    n, tuple(radices), inverse(omega), kernel
+                )
+                object.__setattr__(plan, "inverse_plan", backward)
             self._plans[key] = plan
         else:
             self._hits += 1
@@ -289,10 +447,13 @@ def plan_for_size(
     radices: Optional[Sequence[int]] = None,
     omega: Optional[int] = None,
     kernel: Optional[str] = None,
+    twist: str = "",
 ) -> TransformPlan:
     """Build a plan in the default cache (see
     :meth:`PlanCache.plan_for_size`)."""
-    return DEFAULT_PLAN_CACHE.plan_for_size(n, radices, omega, kernel)
+    return DEFAULT_PLAN_CACHE.plan_for_size(
+        n, radices, omega, kernel, twist
+    )
 
 
 def _default_radices(n: int) -> Tuple[int, ...]:

@@ -91,10 +91,18 @@ def execute_plan_batch(values: np.ndarray, plan: TransformPlan) -> np.ndarray:
 def execute_plan_inverse_batch(
     values: np.ndarray, plan: TransformPlan
 ) -> np.ndarray:
-    """Row-wise inverse NTT of a ``(batch, n)`` uint64 matrix."""
+    """Row-wise inverse NTT of a ``(batch, n)`` uint64 matrix.
+
+    For a fused negacyclic plan (``plan.twist``) the inverse companion
+    already carries the ``n^{-1}`` scale (and the ψ⁻¹-untwist) in its
+    last-stage constants, so the plan execution *is* the whole inverse
+    — no trailing scale pass.
+    """
     if plan.inverse_plan is None:
         raise ValueError("plan was built without an inverse companion")
     spectrum = execute_plan_batch(values, plan.inverse_plan)
+    if plan.twist:
+        return spectrum
     # `spectrum` is freshly owned: scale in place.
     return vmul(
         spectrum,

@@ -18,7 +18,10 @@ before trusting any number the library prints:
    bit-identical, ring scalar/batch polymorphism consistent;
 10. the jobs layer: ``software-mp`` sharded products and transforms
     bit-identical to ``software``, ``JobScheduler`` submit/map
-    ordering intact.
+    ordering intact;
+11. fused negacyclic plans (ψ-twist folded into stage constants)
+    bit-identical to the explicit-twist ``loop``-kernel oracle, on
+    both stage kernels and through the hw-model ring.
 """
 
 from __future__ import annotations
@@ -256,6 +259,52 @@ def _check_jobs_mp() -> CheckResult:
     )
 
 
+def _check_negacyclic_fused() -> CheckResult:
+    import numpy as np
+
+    from repro.engine import Engine
+    from repro.field.solinas import P
+    from repro.ntt.negacyclic import negacyclic_convolution_many
+    from repro.ntt.plan import TWIST_NEGACYCLIC, plan_for_size
+
+    rng = random.Random(9)
+    n, radices = 256, (16, 4, 4)
+    a = np.array(
+        [[rng.randrange(P) for _ in range(n)] for _ in range(3)],
+        dtype=np.uint64,
+    )
+    b = np.array(
+        [[rng.randrange(P) for _ in range(n)] for _ in range(3)],
+        dtype=np.uint64,
+    )
+    oracle = negacyclic_convolution_many(
+        a, b, plan_for_size(n, radices, kernel="loop")
+    )
+    fused_ok = all(
+        np.array_equal(
+            oracle,
+            negacyclic_convolution_many(
+                a,
+                b,
+                plan_for_size(
+                    n, radices, kernel=kernel, twist=TWIST_NEGACYCLIC
+                ),
+            ),
+        )
+        for kernel in ("loop", "limb-matmul")
+    )
+    # The hw ring uses the default shift-only radices ((16, 16) at 256
+    # points); the ring product is factorization-independent.
+    hw_ok = np.array_equal(
+        oracle,
+        Engine(backend="hw-model").ring(n).negacyclic_convolve(a, b),
+    )
+    return CheckResult(
+        "fused negacyclic plans vs explicit-twist loop oracle",
+        fused_ok and hw_ok,
+    )
+
+
 CHECKS: List[Callable[[], CheckResult]] = [
     _check_field,
     _check_vector,
@@ -267,6 +316,7 @@ CHECKS: List[Callable[[], CheckResult]] = [
     _check_fhe,
     _check_engine,
     _check_jobs_mp,
+    _check_negacyclic_fused,
 ]
 
 

@@ -49,6 +49,33 @@ class TestConversions:
         assert to_field_array([1, 2]).dtype == np.uint64
 
 
+class TestToFieldMatrix:
+    def test_matches_per_row_oracle_int_lists(self):
+        from repro.field.vector import to_field_matrix
+
+        rows = [[0, 1, -1, P - 1], [P, P + 5, -(P - 1), 7]]
+        want = np.stack([to_field_array(row) for row in rows])
+        got = to_field_matrix(rows)
+        assert got.dtype == np.uint64
+        assert np.array_equal(got, want)
+
+    def test_uint64_rows_canonicalized_exactly(self):
+        from repro.field.vector import to_field_matrix
+
+        # Residues >= 2**63 must survive: an unsafe int64 cast would
+        # wrap them negative and corrupt the canonical value.
+        row = np.array([P - 1, 1, P, np.uint64(2**64 - 1)], dtype=np.uint64)
+        want = np.stack([to_field_array([int(v) for v in row])])
+        assert np.array_equal(to_field_matrix([row]), want)
+
+    def test_big_python_ints_fall_back_exactly(self):
+        from repro.field.vector import to_field_matrix
+
+        rows = [[2**100, -(2**80), 3]]
+        want = np.stack([to_field_array(rows[0])])
+        assert np.array_equal(to_field_matrix(rows), want)
+
+
 class TestEdgeMatrix:
     """Exhaustive pairwise edge-value checks for every operation."""
 
