@@ -28,7 +28,9 @@ and the two stock backends answer with identical bits:
     each worker rebuilds its engine from the pickled
     :class:`~repro.engine.config.ExecutionConfig` and warms its own
     plan cache once, and results are reassembled in submission order —
-    bit-identical to ``software``.
+    bit-identical to ``software``.  Transform batches of ≥1 MiB move
+    through :mod:`multiprocessing.shared_memory` blocks instead of
+    being pickled row-shard by row-shard.
 
 Third-party backends register through :func:`register_backend` and are
 then constructible by name: ``Engine(backend="my-backend")``.
@@ -195,6 +197,13 @@ class SoftwareMPBackend(SoftwareBackend):
     name = SOFTWARE_MP
     #: Below this many batch items the work runs inline (IPC floor).
     min_shard_items = 2
+    #: Operand matrices at least this large move through
+    #: :mod:`multiprocessing.shared_memory` instead of being pickled
+    #: row-shard by row-shard (``transform_shard_shm``): the parent
+    #: publishes one input and one output block, workers attach by name
+    #: and write their rows in place.  Below the threshold the pickle
+    #: path is cheaper than two block creations.
+    min_shm_bytes = 1 << 20
 
     def __init__(self, workers: Optional[int] = None):
         import threading
@@ -274,6 +283,10 @@ class SoftwareMPBackend(SoftwareBackend):
         batch = values.shape[0]
         if self.workers(engine) <= 1 or batch < self.min_shard_items:
             return super().transform(engine, plan, values, inverse=inverse)
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        shards = self._shards(engine, batch)
+        if values.nbytes >= self.min_shm_bytes:
+            return self._transform_shm(engine, plan, values, inverse, shards)
         from repro.engine import mp as mp_workers
 
         pool = self._pool_for(engine)
@@ -285,10 +298,73 @@ class SoftwareMPBackend(SoftwareBackend):
                 values[rows],
                 inverse,
                 plan.twist,
+                plan.ordering,
             )
-            for rows in self._shards(engine, batch)
+            for rows in shards
         ]
         return np.concatenate([f.result() for f in futures], axis=0)
+
+    def _transform_shm(
+        self,
+        engine: "Engine",
+        plan: TransformPlan,
+        values: np.ndarray,
+        inverse: bool,
+        shards: List[slice],
+    ) -> np.ndarray:
+        """Shared-memory row transfer: pickle names and bounds, not rows.
+
+        The parent owns both blocks (created here, unlinked here);
+        workers attach by name, transform their row range and write
+        results straight into the output block, so a ``(batch, 64K)``
+        operand matrix crosses the process boundary zero times.
+        """
+        from multiprocessing import shared_memory
+
+        from repro.engine import mp as mp_workers
+
+        pool = self._pool_for(engine)
+        shm_in = shared_memory.SharedMemory(
+            create=True, size=values.nbytes
+        )
+        try:
+            shm_out = shared_memory.SharedMemory(
+                create=True, size=values.nbytes
+            )
+            try:
+                src = np.ndarray(
+                    values.shape, dtype=np.uint64, buffer=shm_in.buf
+                )
+                np.copyto(src, values)
+                futures = [
+                    pool.submit(
+                        mp_workers.transform_shard_shm,
+                        shm_in.name,
+                        shm_out.name,
+                        values.shape,
+                        rows.start,
+                        rows.stop,
+                        plan.n,
+                        plan.radices,
+                        inverse,
+                        plan.twist,
+                        plan.ordering,
+                    )
+                    for rows in shards
+                ]
+                for future in futures:
+                    future.result()
+                out = np.ndarray(
+                    values.shape, dtype=np.uint64, buffer=shm_out.buf
+                )
+                result = out.copy()
+            finally:
+                shm_out.close()
+                shm_out.unlink()
+        finally:
+            shm_in.close()
+            shm_in.unlink()
+        return result
 
     def multiply_many(
         self,

@@ -49,6 +49,8 @@ from repro.engine.config import (
 from repro.engine.ring import Ring
 from repro.ntt.plan import (
     DEFAULT_PLAN_CACHE,
+    ORDER_DECIMATED,
+    ORDER_NATURAL,
     PlanCache,
     PlanCacheStats,
     TransformPlan,
@@ -131,19 +133,23 @@ class Engine:
         omega: Optional[int] = None,
         kernel: Optional[str] = None,
         twist: str = "",
+        ordering: str = ORDER_NATURAL,
     ) -> TransformPlan:
         """An ``n``-point plan from the engine's cache.
 
         ``kernel`` defaults to the engine's configured kernel (never to
         the environment — that was resolved at config construction).
-        ``twist=TWIST_NEGACYCLIC`` yields the fused negacyclic variant
+        ``twist=TWIST_NEGACYCLIC`` yields the fused negacyclic variant,
+        ``ordering=ORDER_DECIMATED`` the permutation-free DIF/DIT pair
         (see :meth:`repro.ntt.plan.PlanCache.plan_for_size`).
         """
         kernel = kernel if kernel is not None else self.config.kernel
         cache = self._plan_cache
         if cache is None:  # cache="off": build fresh, keep nothing
             cache = PlanCache()
-        return cache.plan_for_size(n, radices, omega, kernel, twist)
+        return cache.plan_for_size(
+            n, radices, omega, kernel, twist, ordering
+        )
 
     def ring(
         self, n: int, radices: Optional[Sequence[int]] = None
@@ -308,9 +314,11 @@ class Engine:
           cycle-counted);
         - :class:`repro.fhe.rlwe.RLWEParams` → an
           :class:`repro.fhe.RLWE` instance whose negacyclic ring
-          products use the engine's *fused* negacyclic plan (kernel and
-          cache included) — ψ-twist and untwist folded into the stage
-          constants, zero extra vector passes per ring product.
+          products use the engine's *fused, decimated* negacyclic plan
+          (kernel and cache included) — ψ-twist and untwist folded into
+          the stage constants and the digit-reversal gathers skipped:
+          RLWE spectra are internal to the scheme, so the
+          permutation-free pair is safe end to end.
         """
         from repro.fhe.dghv import DGHV
         from repro.fhe.params import FHEParams, TOY
@@ -323,7 +331,11 @@ class Engine:
             return RLWE(
                 params,
                 rng=rng,
-                plan=self.plan(params.n, twist=TWIST_NEGACYCLIC),
+                plan=self.plan(
+                    params.n,
+                    twist=TWIST_NEGACYCLIC,
+                    ordering=ORDER_DECIMATED,
+                ),
             )
         if isinstance(params, FHEParams):
             return DGHV(

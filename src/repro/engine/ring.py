@@ -21,6 +21,14 @@ and ``convolve(negacyclic=True)`` are plain plan executions with zero
 extra vector passes, on every backend.  The fused companion plan is
 built lazily from the engine's cache the first time a ring touches the
 ``x^n + 1`` algebra.
+
+:meth:`Ring.convolve` additionally runs the *decimated*
+(permutation-free) plan pair — DIF forward spectra stay in decimated
+order through the pointwise product and the DIT inverse consumes them
+directly, so convolutions skip every digit-reversal gather.  The
+explicit transform methods (``forward`` / ``inverse`` /
+``negacyclic_forward`` / ``negacyclic_inverse``) keep natural-order
+spectra, so code that inspects spectra sees the historical layout.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 import numpy as np
 
 from repro.field.vector import vmul
-from repro.ntt.plan import TWIST_NEGACYCLIC, TransformPlan
+from repro.ntt.plan import ORDER_DECIMATED, TWIST_NEGACYCLIC, TransformPlan
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.core import Engine
@@ -60,6 +68,8 @@ class Ring:
         self._engine = engine
         self._plan = plan
         self._nega_plan: Optional[TransformPlan] = None
+        self._conv_plan: Optional[TransformPlan] = None
+        self._nega_conv_plan: Optional[TransformPlan] = None
 
     @property
     def n(self) -> int:
@@ -79,6 +89,32 @@ class Ring:
                 self.n, self._plan.radices, twist=TWIST_NEGACYCLIC
             )
         return self._nega_plan
+
+    @property
+    def convolution_plan(self) -> TransformPlan:
+        """The decimated (permutation-free) cyclic convolution pair.
+
+        :meth:`convolve` runs it instead of the natural plan: the
+        pointwise sandwich never looks at spectrum order, so both
+        digit-reversal gathers drop at bit-identical output.
+        """
+        if self._conv_plan is None:
+            self._conv_plan = self._engine.plan(
+                self.n, self._plan.radices, ordering=ORDER_DECIMATED
+            )
+        return self._conv_plan
+
+    @property
+    def negacyclic_convolution_plan(self) -> TransformPlan:
+        """The fused *and* decimated negacyclic convolution pair."""
+        if self._nega_conv_plan is None:
+            self._nega_conv_plan = self._engine.plan(
+                self.n,
+                self._plan.radices,
+                twist=TWIST_NEGACYCLIC,
+                ordering=ORDER_DECIMATED,
+            )
+        return self._nega_conv_plan
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -146,10 +182,20 @@ class Ring:
         The negacyclic flavor dispatches the fused plan — same transform
         count as the cyclic one, with the twist folded into the stage
         constants instead of costing per-operand vector passes.
+
+        Both flavors run the *decimated* plan pair: the intermediate
+        spectra stay in decimated order through the order-agnostic
+        pointwise product, so no transform pays a digit-reversal
+        gather.  Use :meth:`forward` / :meth:`negacyclic_forward` when
+        you need natural-order spectra explicitly.
         """
         rows_a, flat_a = _as_rows(a, self.n)
         rows_b, flat_b = _as_rows(b, self.n)
-        plan = self.negacyclic_plan if negacyclic else self._plan
+        plan = (
+            self.negacyclic_convolution_plan
+            if negacyclic
+            else self.convolution_plan
+        )
 
         batch_a, batch_b = rows_a.shape[0], rows_b.shape[0]
         if batch_a == batch_b:

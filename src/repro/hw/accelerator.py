@@ -44,7 +44,12 @@ from repro.hw.timing import (
 )
 from repro.ntt.kernels import stage_executor
 from repro.ntt.negacyclic import twist_tables
-from repro.ntt.plan import TransformPlan, paper_64k_plan
+from repro.ntt.plan import (
+    ORDER_DECIMATED,
+    TransformPlan,
+    decimated_companion,
+    paper_64k_plan,
+)
 from repro.sim.trace import Timeline
 from repro.ssa.carry import carry_recover
 from repro.ssa.encode import PAPER_PARAMETERS, SSAParameters, decompose, recompose
@@ -401,6 +406,22 @@ class HEAccelerator:
             cycle_cursor += compute
         return report
 
+    def _timing_plan(self, pair: TransformPlan) -> TransformPlan:
+        """The plan whose stage schedule prices ``pair``'s execution.
+
+        A decimated pair executes the *same* stage schedule as its
+        natural companion — the DIF forward shares the companion's
+        stage tuple outright and the DIT inverse runs the transposed
+        network (identical radix/sub-transform multiset, identical
+        per-stage FFT-unit occupancy); only the skipped output gather
+        differs, and the gather was never part of the cycle ledger.
+        Pricing from the natural companion keeps the Section V numbers
+        byte-identical to the permuted oracle.
+        """
+        if pair.ordering == ORDER_DECIMATED and pair.base_plan is not None:
+            return pair.base_plan
+        return pair
+
     def distributed_ntt(
         self,
         values: np.ndarray,
@@ -409,9 +430,10 @@ class HEAccelerator:
     ) -> Tuple[np.ndarray, DistributedFFTReport]:
         """Run one transform across the PEs.
 
-        Returns the transformed vector (natural order, scaled by
-        ``n^{-1}`` when ``inverse`` — already folded into the stages
-        for fused negacyclic plans) and the cycle report.
+        Returns the transformed vector (natural order — or decimated
+        order for a decimated plan's forward — scaled by ``n^{-1}``
+        when ``inverse``; the scale is already folded into the stages
+        for fused negacyclic and decimated plans) and the cycle report.
 
         A fused negacyclic plan runs on ``fast`` fidelity exactly like
         a cyclic one (the stage kernels are constant-agnostic, so the
@@ -420,36 +442,110 @@ class HEAccelerator:
         the plan's cyclic base with the explicit ψ-twist, because the
         shift-only FFT-64 unit evaluates plain DFT webs only — the
         cycle report stays the honest beat-exact schedule, and the
-        values stay bit-identical to the fused fast path.
+        values stay bit-identical to the fused fast path.  Decimated
+        plans follow the same pattern: ``fast`` fidelity runs the
+        permutation-free DIF/DIT walks directly, ``datapath`` walks the
+        natural companion with explicit gathers/scatters at the
+        boundary — bit-identical, since reordering exact residues
+        commutes with everything.
         """
-        plan = self.plan.inverse_plan if inverse else self.plan
-        if plan is None:
+        return self._ntt_flat(self.plan, values, inverse, fidelity)
+
+    def _ntt_flat(
+        self,
+        plan: TransformPlan,
+        values: np.ndarray,
+        inverse: bool,
+        fidelity: str,
+    ) -> Tuple[np.ndarray, DistributedFFTReport]:
+        """One flat transform under an explicit (forward) plan pair."""
+        pair = plan.inverse_plan if inverse else plan
+        if pair is None:
             raise ValueError("plan has no inverse companion")
-        if values.shape != (plan.n,):
-            raise ValueError(f"expected a flat array of length {plan.n}")
+        if values.shape != (pair.n,):
+            raise ValueError(f"expected a flat array of length {pair.n}")
         if fidelity not in ("fast", "datapath"):
             raise ValueError(f"unknown fidelity {fidelity!r}")
 
         data = np.ascontiguousarray(values, dtype=np.uint64)
-        if self.plan.twist and fidelity == "datapath":
-            return self._datapath_negacyclic(data, inverse)
-        for index in range(len(plan.stages)):
-            if fidelity == "fast":
-                data = self._run_stage_fast(data, plan, index)
-            else:
-                data = self._run_stage_datapath(data, plan, index, inverse)
-        report = self._timing_report(plan)
+        if fidelity == "datapath":
+            out = self._ntt_row_datapath(pair, data, inverse)
+            return out, self._timing_report(self._timing_plan(pair))
+        rows = self._ntt_fast_rows(pair, data.reshape(1, pair.n), inverse)
+        return rows[0], self._timing_report(self._timing_plan(pair))
 
-        # Fancy indexing copies, so the caller never holds a view of the
-        # reusable stage buffers.
-        out = data[plan.output_permutation]
-        if inverse and not self.plan.twist:
-            vmul(out, np.broadcast_to(plan.n_inv, out.shape), out=out)
-        return out, report
+    def _ntt_fast_rows(
+        self, pair: TransformPlan, values: np.ndarray, inverse: bool
+    ) -> np.ndarray:
+        """Vectorized stage walk of ``(rows, n)`` data; owned output.
 
-    def _datapath_negacyclic(
-        self, data: np.ndarray, inverse: bool
-    ) -> Tuple[np.ndarray, DistributedFFTReport]:
+        ``pair`` is the already direction-resolved plan to execute (the
+        inverse companion for inverse transforms).  Dispatches the DIT
+        walk for decimated inverse plans; natural plans end with the
+        digit-reversal gather, decimated ones with a plain contiguous
+        copy off the persistent stage buffers.
+        """
+        data = values.copy()  # never mutate the caller's matrix
+        if pair.dit:
+            tail = 1
+            for index in range(len(pair.stages)):
+                data = self._run_stage_fast_batch_dit(
+                    data, pair, index, tail
+                )
+                tail *= pair.stages[index].radix
+        else:
+            for index in range(len(pair.stages)):
+                data = self._run_stage_fast_batch(data, pair, index)
+        if pair.ordering == ORDER_DECIMATED:
+            # No gather — the copy just moves the result off the
+            # reusable ping-pong buffers (fancy indexing would copy
+            # anyway on the natural route).
+            out = data.copy()
+        else:
+            out = data[:, pair.output_permutation]
+        if inverse and not pair.twist and pair.ordering != ORDER_DECIMATED:
+            vmul(out, np.broadcast_to(pair.n_inv, out.shape), out=out)
+        return out
+
+    def _ntt_row_datapath(
+        self, pair: TransformPlan, data: np.ndarray, inverse: bool
+    ) -> np.ndarray:
+        """Beat-exact value computation of one flat row (no report).
+
+        ``pair`` is the direction-resolved plan.  Decimated pairs
+        convert at the boundary and walk their *natural* companion —
+        the shift-only FFT-64 unit model executes the one canonical
+        stage schedule, exactly as the fused route below walks the
+        cyclic base with an explicit twist; gathers of exact residues
+        are bit-transparent.  Fused pairs apply the explicit ψ-twist /
+        ψ⁻¹-untwist around the cyclic base walk.
+        """
+        if pair.ordering == ORDER_DECIMATED:
+            natural = pair.base_plan
+            if natural is None:  # pragma: no cover - always derived
+                raise ValueError("decimated plan carries no natural base")
+            if inverse:
+                # Gather the decimated spectrum to natural order, then
+                # run the natural inverse.
+                return self._ntt_row_datapath(
+                    natural, data[pair.output_permutation], True
+                )
+            out = self._ntt_row_datapath(natural, data, False)
+            decimated = np.empty_like(out)
+            decimated[pair.output_permutation] = out
+            return decimated
+        if pair.twist:
+            return self._datapath_negacyclic_row(pair, data, inverse)
+        for index in range(len(pair.stages)):
+            data = self._run_stage_datapath(data, pair, index, inverse)
+        out = data[pair.output_permutation]
+        if inverse:
+            vmul(out, np.broadcast_to(pair.n_inv, out.shape), out=out)
+        return out
+
+    def _datapath_negacyclic_row(
+        self, pair: TransformPlan, data: np.ndarray, inverse: bool
+    ) -> np.ndarray:
         """Beat-exact route of a fused plan: explicit twist + base walk.
 
         The fused stage constants cannot run through the shift-only
@@ -457,21 +553,19 @@ class HEAccelerator:
         ψ⁻¹-untwist explicitly around the cyclic ``base_plan``'s
         per-beat stage walk.  Output bits match the fused fast path.
         """
-        base = self.plan.base_plan
+        base = pair.base_plan
         if base is None:  # pragma: no cover - fused plans always carry it
             raise ValueError("fused plan carries no cyclic base plan")
-        plan = base.inverse_plan if inverse else base
         forward_tab, backward_tab = twist_tables(base.n)
         if not inverse:
             data = vmul(data, forward_tab)
-        for index in range(len(plan.stages)):
-            data = self._run_stage_datapath(data, plan, index, inverse)
-        report = self._timing_report(plan)
-        out = data[plan.output_permutation]
+        for index in range(len(base.stages)):
+            data = self._run_stage_datapath(data, base, index, inverse)
+        out = data[base.output_permutation]
         if inverse:
-            vmul(out, np.broadcast_to(plan.n_inv, out.shape), out=out)
+            vmul(out, np.broadcast_to(base.n_inv, out.shape), out=out)
             vmul(out, backward_tab, out=out)
-        return out, report
+        return out
 
     def distributed_ntt_batch(
         self,
@@ -494,14 +588,18 @@ class HEAccelerator:
         passes entirely: the twist constants ride inside the stage
         tables, so the batch streams through the identical per-row
         stage schedule a cyclic transform pays — ring products cost
-        exactly one forward + one inverse pass each way.
+        exactly one forward + one inverse pass each way.  Decimated
+        plans additionally drop the per-batch digit-reversal gathers on
+        ``fast`` fidelity (the decimated block order *is* the output);
+        ``datapath`` walks the natural companion with explicit boundary
+        reorders, keeping the beat-exact oracle bit-identical.
         """
-        plan = self.plan.inverse_plan if inverse else self.plan
-        if plan is None:
+        pair = self.plan.inverse_plan if inverse else self.plan
+        if pair is None:
             raise ValueError("plan has no inverse companion")
         values = np.ascontiguousarray(values, dtype=np.uint64)
-        if values.ndim != 2 or values.shape[1] != plan.n:
-            raise ValueError(f"expected a (batch, {plan.n}) matrix")
+        if values.ndim != 2 or values.shape[1] != pair.n:
+            raise ValueError(f"expected a (batch, {pair.n}) matrix")
         if fidelity not in ("fast", "datapath"):
             raise ValueError(f"unknown fidelity {fidelity!r}")
         rows = values.shape[0]
@@ -512,45 +610,22 @@ class HEAccelerator:
 
         if fidelity == "datapath":
             out = np.empty_like(values)
-            per_row: Optional[DistributedFFTReport] = None
             for row in range(rows):
-                out[row], per_row = self.distributed_ntt(
-                    values[row], inverse=inverse, fidelity=fidelity
+                out[row] = self._ntt_row_datapath(
+                    pair, np.ascontiguousarray(values[row]), inverse
                 )
+            per_row = self._timing_report(
+                self._timing_plan(pair), rows=rows
+            )
             return out, DistributedFFTBatchReport(
                 rows=rows, per_row=per_row, clock_ns=self.clock_ns
             )
 
-        data = values.copy()  # never mutate the caller's matrix
-        for index in range(len(plan.stages)):
-            data = self._run_stage_fast_batch(data, plan, index)
-        per_row = self._timing_report(plan, rows=rows)
-        out = data[:, plan.output_permutation]
-        if inverse and not self.plan.twist:
-            vmul(out, np.broadcast_to(plan.n_inv, out.shape), out=out)
+        out = self._ntt_fast_rows(pair, values, inverse)
+        per_row = self._timing_report(self._timing_plan(pair), rows=rows)
         return out, DistributedFFTBatchReport(
             rows=rows, per_row=per_row, clock_ns=self.clock_ns
         )
-
-    def _run_stage_fast(
-        self, data: np.ndarray, plan: TransformPlan, index: int
-    ) -> np.ndarray:
-        """Vectorized stage execution (same math as the NTT executor).
-
-        Dispatches on the plan's kernel backend, so the functional
-        model rides the same limb-matmul fast path as the library NTT.
-        Writes into the accelerator's persistent ping-pong buffers
-        instead of allocating per stage.
-        """
-        length, radix, tail = self._stage_geometry(plan, index)
-        stage = plan.stages[index]
-        blocks = plan.n // length
-        view = data.reshape(blocks, radix, tail)
-        out = self._stage_output(data).reshape(blocks, radix, tail)
-        stage_executor(plan.kernel or None)(view, stage, out)
-        if stage.twiddles is not None:
-            vmul(out, stage.twiddles[np.newaxis, :, :], out=out)
-        return out.reshape(plan.n)
 
     def _batch_stage_output(self, data: np.ndarray) -> np.ndarray:
         """The ``(rows, n)`` ping-pong buffer the next stage writes.
@@ -594,6 +669,31 @@ class HEAccelerator:
         stage_executor(plan.kernel or None)(view, stage, out)
         if stage.twiddles is not None:
             vmul(out, stage.twiddles[np.newaxis, :, :], out=out)
+        return out_rows
+
+    def _run_stage_fast_batch_dit(
+        self, data: np.ndarray, plan: TransformPlan, index: int, tail: int
+    ) -> np.ndarray:
+        """One decimation-in-time stage over a ``(rows, n)`` matrix.
+
+        The DIT walk's tail axis *grows* with the executed-radix
+        product (``tail`` argument) instead of shrinking, and the stage
+        twiddle diagonal applies to the *input* view before the DFT —
+        the transpose of :meth:`_run_stage_fast_batch`'s schedule.
+        ``data`` is always an accelerator-owned buffer (the batch entry
+        copies the caller's matrix), so the pre-twiddle may run in
+        place.
+        """
+        stage = plan.stages[index]
+        radix = stage.radix
+        rows = data.shape[0]
+        groups = (rows * plan.n) // (radix * tail)
+        view = data.reshape(groups, radix, tail)
+        if stage.twiddles is not None:
+            vmul(view, stage.twiddles[np.newaxis, :, :], out=view)
+        out_rows = self._batch_stage_output(data)
+        out = out_rows.reshape(groups, radix, tail)
+        stage_executor(plan.kernel or None)(view, stage, out)
         return out_rows
 
     def _run_stage_datapath(
@@ -697,8 +797,20 @@ class HEAccelerator:
         vec_a = decompose(a, self.params)
         vec_b = decompose(b, self.params)
 
-        spec_a, fft_a = self.distributed_ntt(vec_a, fidelity=fidelity)
-        spec_b, fft_b = self.distributed_ntt(vec_b, fidelity=fidelity)
+        # The hardware keeps the decimated order between the forward
+        # passes and the inverse (the dot-product bank is
+        # order-agnostic), so the fast functional path runs the
+        # permutation-free pair — zero digit-reversal gathers per
+        # product.  The beat-exact datapath keeps the natural-order
+        # walk as the oracle; the cycle schedule is identical either
+        # way (gathers were never in the ledger).
+        conv_plan = (
+            decimated_companion(self.plan)
+            if fidelity == "fast"
+            else self.plan
+        )
+        spec_a, fft_a = self._ntt_flat(conv_plan, vec_a, False, fidelity)
+        spec_b, fft_b = self._ntt_flat(conv_plan, vec_b, False, fidelity)
 
         # Component-wise product on the dot-product multiplier bank.
         spectrum = vmul(spec_a, spec_b)
@@ -709,10 +821,7 @@ class HEAccelerator:
         for multiplier in self.dot_product_multipliers:
             multiplier.operations += products_per_mul
 
-        # The forward spectra arrive permuted to natural order; undo the
-        # permutation before the inverse pass (the hardware simply keeps
-        # the decimated order between passes).
-        conv, fft_c = self.distributed_ntt(spectrum, inverse=True, fidelity=fidelity)
+        conv, fft_c = self._ntt_flat(conv_plan, spectrum, True, fidelity)
 
         digits = carry_recover(
             [int(x) for x in conv], self.params.coefficient_bits

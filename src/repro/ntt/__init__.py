@@ -17,6 +17,8 @@ Layered as in the paper:
   ``loop`` reference and the ``limb-matmul`` fast kernel (exact
   16-bit-limb float64 matmuls folded by the Eq. 4 identities);
 - :mod:`repro.ntt.staged` — vectorized execution of a plan;
+- :mod:`repro.ntt.order` — explicit natural↔decimated spectrum
+  reordering for the permutation-free plan pairs;
 - :mod:`repro.ntt.convolution` — cyclic convolution on top of the NTT.
 """
 
@@ -40,15 +42,19 @@ from repro.ntt.kernels import (
 )
 from repro.ntt.plan import (
     DEFAULT_PLAN_CACHE,
+    ORDER_DECIMATED,
+    ORDER_NATURAL,
     TWIST_NEGACYCLIC,
     PlanCache,
     PlanCacheStats,
     TransformPlan,
     clear_plan_cache,
+    decimated_companion,
     paper_64k_plan,
     plan_cache_stats,
     plan_for_size,
 )
+from repro.ntt.order import reorder_to_decimated, reorder_to_natural
 from repro.ntt.staged import (
     execute_plan,
     execute_plan_batch,
@@ -93,8 +99,13 @@ __all__ = [
     "PlanCache",
     "PlanCacheStats",
     "DEFAULT_PLAN_CACHE",
+    "ORDER_DECIMATED",
+    "ORDER_NATURAL",
     "TWIST_NEGACYCLIC",
     "clear_plan_cache",
+    "decimated_companion",
+    "reorder_to_decimated",
+    "reorder_to_natural",
     "paper_64k_plan",
     "plan_cache_stats",
     "plan_for_size",

@@ -39,7 +39,12 @@ twiddle tables by ψ-twist factors mod p) run through the identical
 code paths and the identical exactness argument — limb products and
 weight-plane sums depend only on the 16-bit limb geometry and the
 radix, never on which constants fill the matrix, so every fused
-accumulation stays below the same ``2**40 ≪ 2**53`` bound.
+accumulation stays below the same ``2**40 ≪ 2**53`` bound.  The
+permutation-free DIT inverse stages (:func:`repro.ntt.plan._decimate`
+transposes each inverse matrix and folds ψ⁻¹/``n^{-1}`` row scales
+into it) lean on the same property: ``StageSpec`` rebuilds the limb
+planes of whatever matrix it is handed, and the kernels never ask
+where the constants came from.
 """
 
 from __future__ import annotations

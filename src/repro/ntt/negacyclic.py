@@ -18,6 +18,14 @@ plain plan execution — the two full-vector twist ``vmul`` passes (and
 the inverse scale pass) disappear.  Passing an unfused plan keeps the
 historical explicit-twist route, which doubles as the bit-exactness
 oracle for the fused constants.
+
+The *convolution* entry points additionally default to the decimated
+(permutation-free) plan pair: their forward→pointwise→inverse sandwich
+never looks at spectrum order, so the digit-reversal gathers drop too.
+The explicit-spectra pair :func:`negacyclic_transform_many` /
+:func:`negacyclic_inverse_many` keeps natural-order spectra by default
+— callers who inspect spectra see the historical layout unless they
+pass a decimated plan themselves (see :mod:`repro.ntt.order`).
 """
 
 from __future__ import annotations
@@ -30,7 +38,13 @@ import numpy as np
 from repro.field.roots import root_of_unity
 from repro.field.solinas import P, inverse, pow_mod
 from repro.field.vector import vmul
-from repro.ntt.plan import TWIST_NEGACYCLIC, TransformPlan, plan_for_size
+from repro.ntt.plan import (
+    ORDER_DECIMATED,
+    ORDER_NATURAL,
+    TWIST_NEGACYCLIC,
+    TransformPlan,
+    plan_for_size,
+)
 from repro.ntt.staged import execute_plan_batch, execute_plan_inverse_batch
 
 
@@ -61,15 +75,20 @@ def twist_tables(n: int) -> Tuple[np.ndarray, np.ndarray]:
 _twist_tables = twist_tables
 
 
-def _negacyclic_plan(n: int, plan: Optional[TransformPlan]) -> TransformPlan:
+def _negacyclic_plan(
+    n: int,
+    plan: Optional[TransformPlan],
+    ordering: str = ORDER_NATURAL,
+) -> TransformPlan:
     """Resolve the plan for an ``n``-point negacyclic operation.
 
-    ``None`` builds (and caches) the fused negacyclic plan; an explicit
-    plan — fused or not — is validated and used as given, so callers
-    can pin the explicit-twist oracle route by passing a cyclic plan.
+    ``None`` builds (and caches) the fused negacyclic plan with the
+    requested ``ordering``; an explicit plan — fused or not, natural or
+    decimated — is validated and used as given, so callers can pin the
+    explicit-twist oracle route by passing a cyclic plan.
     """
     if plan is None:
-        return plan_for_size(n, twist=TWIST_NEGACYCLIC)
+        return plan_for_size(n, twist=TWIST_NEGACYCLIC, ordering=ordering)
     if plan.n != n:
         raise ValueError("plan size does not match input length")
     return plan
@@ -106,6 +125,11 @@ def negacyclic_convolution_many(
     then a batched pointwise product, one batched inverse and the
     untwist — identical per row to :func:`negacyclic_convolution`.
     This is the ring-product engine behind the batched RLWE APIs.
+
+    The default plan is the fused *decimated* pair: the spectra stay in
+    decimated order through the order-agnostic pointwise product, so
+    neither transform pays a digit-reversal gather.  Pass an explicit
+    natural-ordering plan to pin the historical permuted route.
     """
     a = np.ascontiguousarray(a, dtype=np.uint64)
     b = np.ascontiguousarray(b, dtype=np.uint64)
@@ -114,7 +138,7 @@ def negacyclic_convolution_many(
     batch, n = a.shape
     if n == 0 or n & (n - 1):
         raise ValueError("length must be a power of two")
-    plan = _negacyclic_plan(n, plan)
+    plan = _negacyclic_plan(n, plan, ordering=ORDER_DECIMATED)
     spectra = negacyclic_transform_many(np.concatenate([a, b], axis=0), plan)
     # The pointwise product may overwrite the first half of the owned
     # spectra matrix instead of allocating a fresh one.
@@ -134,7 +158,9 @@ def negacyclic_convolution_broadcast(
     across the batch — ``batch + 1`` forward transforms instead of the
     ``2·batch`` a tiled :func:`negacyclic_convolution_many` would pay.
     This is the shape of RLWE key operations, where one secret meets
-    many ciphertext polynomials.
+    many ciphertext polynomials.  Like
+    :func:`negacyclic_convolution_many`, the default plan is the fused
+    decimated (permutation-free) pair.
     """
     a = np.ascontiguousarray(a, dtype=np.uint64)
     b = np.ascontiguousarray(b, dtype=np.uint64)
@@ -142,7 +168,7 @@ def negacyclic_convolution_broadcast(
         raise ValueError(
             "expected a (batch, n) matrix and a length-n polynomial"
         )
-    plan = _negacyclic_plan(a.shape[1], plan)
+    plan = _negacyclic_plan(a.shape[1], plan, ordering=ORDER_DECIMATED)
     spectra = negacyclic_transform_many(
         np.concatenate([a, b[np.newaxis, :]], axis=0), plan
     )
@@ -159,7 +185,10 @@ def negacyclic_transform_many(
     plaintext spectrum against both halves of an RLWE ciphertext).
     Spectra are identical bits whichever plan flavor computes them: a
     fused plan folds the twist into its first stage, an unfused plan
-    pays the explicit twist ``vmul`` first.
+    pays the explicit twist ``vmul`` first.  The default plan keeps
+    *natural* spectrum order (explicit-spectra callers see the
+    historical layout); pass a decimated plan for permutation-free
+    spectra.
     """
     polys = np.ascontiguousarray(polys, dtype=np.uint64)
     if polys.ndim != 2:

@@ -1,0 +1,77 @@
+"""Explicit spectrum-ordering conversions for decimated plans.
+
+Permutation-free plan pairs (:data:`repro.ntt.plan.ORDER_DECIMATED`)
+keep forward spectra in decimated (digit-reversed block) order so
+convolution pipelines never pay the digit-reversal gather.  Pointwise
+sandwiches are order-agnostic, but anyone who inspects a spectrum
+directly — frequency-domain analysis, comparing against the natural
+oracle, slicing individual harmonics — needs the explicit conversions
+here.
+
+The decimated plan's ``output_permutation`` (``perm[k]`` = decimated
+position of natural frequency ``k``) is exactly the gather the
+executor skipped, so
+
+- :func:`reorder_to_natural` applies it (``spectra[..., perm]``),
+- :func:`reorder_to_decimated` scatters it back
+  (``out[..., perm] = spectra``),
+
+and ``reorder_to_decimated(reorder_to_natural(s, plan), plan) == s``.
+
+Both helpers refuse natural-ordering plans with a ``ValueError`` —
+mirroring how :func:`repro.ntt.convolution.cyclic_convolution_many`
+rejects fused plans — because "reordering" under a natural plan is a
+silent no-op waiting to corrupt data: the caller's mental model and
+the array's actual layout would disagree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ntt.plan import ORDER_DECIMATED, TransformPlan
+
+__all__ = ["reorder_to_natural", "reorder_to_decimated"]
+
+
+def _check(plan: TransformPlan, spectra: np.ndarray) -> np.ndarray:
+    if plan.ordering != ORDER_DECIMATED:
+        raise ValueError(
+            "spectrum reordering is defined for decimated plans only; "
+            f"got a {plan.ordering!r}-ordering plan (its executor "
+            "already emits natural order)"
+        )
+    arr = np.asarray(spectra, dtype=np.uint64)
+    if arr.shape[-1] != plan.n:
+        raise ValueError(
+            f"last axis must have length {plan.n}, got {arr.shape}"
+        )
+    return arr
+
+
+def reorder_to_natural(
+    spectra: np.ndarray, plan: TransformPlan
+) -> np.ndarray:
+    """Decimated-order spectra → natural frequency order.
+
+    ``spectra`` is anything a decimated forward of ``plan`` produced:
+    a flat length-n vector or any ``(..., n)`` stack.  Returns a new
+    array; the input is not modified.
+    """
+    arr = _check(plan, spectra)
+    return arr[..., plan.output_permutation]
+
+
+def reorder_to_decimated(
+    spectra: np.ndarray, plan: TransformPlan
+) -> np.ndarray:
+    """Natural frequency order → the decimated order ``plan`` emits.
+
+    The exact inverse of :func:`reorder_to_natural` (a scatter through
+    the same permutation).  Use it to feed externally-built natural
+    spectra to a decimated plan's DIT inverse.
+    """
+    arr = _check(plan, spectra)
+    out = np.empty_like(arr)
+    out[..., plan.output_permutation] = arr
+    return out

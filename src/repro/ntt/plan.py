@@ -38,6 +38,23 @@ PAPER_RADICES = (64, 64, 16)
 #: extra vector passes (see :func:`_fuse_negacyclic`).
 TWIST_NEGACYCLIC = "negacyclic"
 
+#: ``TransformPlan.ordering`` of a plan whose forward output (and
+#: inverse input) is in natural index order — the digit-reversal gather
+#: runs after the last stage.  This is the historical behaviour.
+ORDER_NATURAL = "natural"
+
+#: ``TransformPlan.ordering`` of a permutation-free plan pair: the
+#: decimation-in-frequency forward leaves its spectrum in decimated
+#: (digit-reversed block) order — no output gather — and the
+#: decimation-in-time inverse companion consumes exactly that order and
+#: emits natural-order coefficients, again without a gather (see
+#: :func:`_decimate`).  Pointwise-product sandwiches (convolutions,
+#: SSA ``multiply_many``) are order-agnostic, so they skip both
+#: per-transform permutations at identical output bits.
+ORDER_DECIMATED = "decimated"
+
+_ORDERINGS = (ORDER_NATURAL, ORDER_DECIMATED)
+
 
 @dataclass(frozen=True)
 class StageSpec:
@@ -96,8 +113,30 @@ class TransformPlan:
     #: derived from (same ``n``/``radices``/``omega``/``kernel``).  The
     #: hw-model's datapath fidelity walks this plan with the explicit
     #: twist, since the shift-only FFT-64 unit only evaluates plain DFT
-    #: webs.
+    #: webs.  For decimated plans: the natural-ordering companion the
+    #: pair was derived from (the natural pair for the forward, the
+    #: natural inverse for the DIT inverse) — the hw-model's beat-exact
+    #: oracle and cycle schedule come from it.
     base_plan: Optional["TransformPlan"] = field(
+        default=None, compare=False, repr=False
+    )
+    #: :data:`ORDER_NATURAL` (gather to natural order after the last
+    #: stage) or :data:`ORDER_DECIMATED` (permutation-free pair).  On a
+    #: decimated plan ``output_permutation`` is *not* applied by the
+    #: executor; it is kept so :mod:`repro.ntt.order` can reorder
+    #: spectra explicitly (``perm[k]`` = decimated position of natural
+    #: frequency ``k``).
+    ordering: str = field(default=ORDER_NATURAL, compare=False)
+    #: ``True`` for the decimation-in-time inverse companion of a
+    #: decimated pair: the executor applies each stage's twiddles
+    #: *before* its DFT, walks the stages in the laid-out (reversed)
+    #: order with a growing tail axis, and emits natural order with no
+    #: gather.  ``radices`` lists the stages in execution order, i.e.
+    #: reversed relative to the natural companion; ``output_permutation``
+    #: describes the decimation of the *input* spectrum.
+    dit: bool = field(default=False, compare=False)
+    #: Memoized decimated companion (see :func:`decimated_companion`).
+    _decimated: Optional["TransformPlan"] = field(
         default=None, compare=False, repr=False
     )
 
@@ -109,6 +148,11 @@ class TransformPlan:
         object.__setattr__(
             self, "kernel", resolve_kernel(self.kernel or None)
         )
+        if self.ordering not in _ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {self.ordering!r}; "
+                f"expected one of {_ORDERINGS}"
+            )
 
     @property
     def stage_count(self) -> int:
@@ -315,6 +359,135 @@ def _fuse_negacyclic(base: TransformPlan) -> TransformPlan:
     )
 
 
+def _decimate(base: TransformPlan) -> TransformPlan:
+    """The permutation-free (decimated-ordering) pair of a natural plan.
+
+    Forward: a decimation-in-frequency transform *is* the existing
+    staged execution minus the final digit-reversal gather — the stage
+    constants (including fused-negacyclic ones) are shared unchanged
+    and the executor simply keeps the decimated block order.
+
+    Inverse: the natural inverse network ``N = P·E`` (``P`` the gather,
+    ``E`` the staged butterfly network) must become ``G = N·P`` so it
+    consumes decimated input and emits natural order.  Because the
+    unfused network matrix ``(1/n)·F̄`` is symmetric and ``P`` is its
+    own transpose-conjugate here, ``G = E^T`` up to the ``n^{-1}``
+    scale: the *transpose* of the staged network runs the stages in
+    reversed order with each stage's twiddle diagonal applied *before*
+    its (transposed) DFT.  The small DFT matrices are symmetric, so the
+    constants are byte-identical to the natural inverse's; only their
+    layout across the schedule changes — exactly the paper's
+    observation that DIF and DIT share one datapath.
+
+    For a fused negacyclic base the ψ⁻¹-untwist ``ψ^{-i}`` factors over
+    the *output* digits: in the DIT schedule the natural output digit
+    of weight ``tail_j`` is produced by (original) stage ``j``'s DFT
+    and never remixed afterwards, so ``ψ^{-k·tail_j}`` row-scales that
+    stage's transposed matrix (with ``n^{-1}`` folded into the
+    last-executed stage).  The unfused DIT inverse folds ``n^{-1}`` the
+    same way, which also retires the trailing scale pass.
+    """
+    if base.ordering == ORDER_DECIMATED:
+        return base
+    if base.inverse_plan is None:
+        raise ValueError(
+            "cannot decimate a plan without an inverse companion"
+        )
+    if base.twist:
+        if base.base_plan is None or base.base_plan.inverse_plan is None:
+            raise ValueError(
+                "fused plan carries no cyclic base to derive the DIT "
+                "inverse from"
+            )
+        # The fused natural inverse folds ψ^{-c_j·k} by *natural* output
+        # digit weights; the DIT schedule needs the tail_j weights, so
+        # rebuild from the unfused inverse stages.
+        ibase = base.base_plan.inverse_plan
+        from repro.ntt.negacyclic import twist_tables
+
+        _, backward_tab = twist_tables(base.n)
+    else:
+        ibase = base.inverse_plan
+        backward_tab = None
+
+    dit_stages: List[StageSpec] = []
+    tail = base.n
+    for index, spec in enumerate(ibase.stages):
+        tail //= spec.radix
+        matrix = np.ascontiguousarray(spec.dft_matrix.T)
+        if backward_tab is not None:
+            # ψ^{-k·tail_j} for k in [0, radix): strided ψ⁻¹ view.
+            row_scale = np.ascontiguousarray(
+                backward_tab[::tail][: spec.radix]
+            )
+            if index == 0:
+                row_scale = vmul(
+                    row_scale,
+                    np.broadcast_to(ibase.n_inv, row_scale.shape),
+                )
+            matrix = vmul(
+                matrix,
+                np.broadcast_to(row_scale[:, np.newaxis], matrix.shape),
+            )
+        elif index == 0:
+            matrix = vmul(
+                matrix, np.broadcast_to(ibase.n_inv, matrix.shape)
+            )
+        dit_stages.append(
+            StageSpec(
+                radix=spec.radix,
+                sub_transforms=spec.sub_transforms,
+                dft_matrix=matrix,
+                twiddles=spec.twiddles,
+            )
+        )
+    # Transposed network: original stage s runs first (twiddle-free by
+    # construction), original stage 1 runs last and emits natural order.
+    dit_stages.reverse()
+
+    dit_inverse = TransformPlan(
+        n=base.n,
+        radices=tuple(reversed(ibase.radices)),
+        omega=ibase.omega,
+        stages=tuple(dit_stages),
+        output_permutation=ibase.output_permutation,
+        n_inv=ibase.n_inv,
+        kernel=base.kernel,
+        twist=base.twist,
+        base_plan=base.inverse_plan,
+        ordering=ORDER_DECIMATED,
+        dit=True,
+    )
+    return TransformPlan(
+        n=base.n,
+        radices=base.radices,
+        omega=base.omega,
+        stages=base.stages,
+        output_permutation=base.output_permutation,
+        n_inv=base.n_inv,
+        inverse_plan=dit_inverse,
+        kernel=base.kernel,
+        twist=base.twist,
+        base_plan=base,
+        ordering=ORDER_DECIMATED,
+    )
+
+
+def decimated_companion(plan: TransformPlan) -> TransformPlan:
+    """The (memoized) permutation-free pair of ``plan``.
+
+    Every holder of a natural-ordering plan — engine caches, rings,
+    multipliers, the hw model — resolves the *same* companion object,
+    so the derived DIT constants are built once per natural plan.
+    Decimated plans return themselves.
+    """
+    if plan.ordering == ORDER_DECIMATED:
+        return plan
+    if plan._decimated is None:
+        object.__setattr__(plan, "_decimated", _decimate(plan))
+    return plan._decimated
+
+
 @dataclass(frozen=True)
 class PlanCacheStats:
     """Occupancy and hit/miss counters of a plan cache."""
@@ -327,9 +500,13 @@ class PlanCacheStats:
 class PlanCache:
     """A keyed store of built :class:`TransformPlan` objects.
 
-    Keys are ``(n, radices, omega, kernel, twist)``; a hit returns the
-    very same plan object, so precomputed DFT matrices, twiddle tables
-    and limb planes are shared by every caller of the cache.
+    Keys are ``(n, radices, omega, kernel, twist, ordering)``; a hit
+    returns the very same plan object, so precomputed DFT matrices,
+    twiddle tables and limb planes are shared by every caller of the
+    cache.  Decimated entries resolve through
+    :func:`decimated_companion`, which memoizes on the natural plan
+    itself — so even *different* caches holding the same natural plan
+    share one decimated pair.
 
     Historically the library kept one module-global cache; the
     :class:`repro.engine.Engine` façade now owns a *per-engine*
@@ -340,7 +517,7 @@ class PlanCache:
 
     def __init__(self) -> None:
         self._plans: Dict[
-            Tuple[int, Tuple[int, ...], int, str, str], TransformPlan
+            Tuple[int, Tuple[int, ...], int, str, str, str], TransformPlan
         ] = {}
         self._hits = 0
         self._misses = 0
@@ -371,6 +548,7 @@ class PlanCache:
         omega: Optional[int] = None,
         kernel: Optional[str] = None,
         twist: str = "",
+        ordering: str = ORDER_NATURAL,
     ) -> TransformPlan:
         """Build (and cache) a plan for an ``n``-point transform.
 
@@ -388,6 +566,12 @@ class PlanCache:
         ``n^{-1}`` into the inverse companion's stages); it requires the
         default primitive root, since ψ is its square root of order
         ``2n``.  The cyclic base plan is built (and cached) alongside.
+
+        ``ordering=ORDER_DECIMATED`` returns the permutation-free pair
+        (DIF forward emitting decimated spectra, DIT inverse consuming
+        them); the natural-ordering plan is built (and cached)
+        alongside, and the decimated pair is shared through
+        :func:`decimated_companion`.
         """
         if n & (n - 1) or n == 0:
             raise ValueError("transform size must be a power of two")
@@ -395,6 +579,11 @@ class PlanCache:
             raise ValueError(
                 f"unknown twist {twist!r}; "
                 f"expected '' or {TWIST_NEGACYCLIC!r}"
+            )
+        if ordering not in _ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {ordering!r}; "
+                f"expected one of {_ORDERINGS}"
             )
         default_omega = root_of_unity(n)
         if omega is None:
@@ -407,11 +596,15 @@ class PlanCache:
         if radices is None:
             radices = _default_radices(n)
         kernel = resolve_kernel(kernel)
-        key = (n, tuple(radices), omega, kernel, twist)
+        key = (n, tuple(radices), omega, kernel, twist, ordering)
         plan = self._plans.get(key)
         if plan is None:
             self._misses += 1
-            if twist:
+            if ordering == ORDER_DECIMATED:
+                plan = decimated_companion(
+                    self.plan_for_size(n, radices, omega, kernel, twist)
+                )
+            elif twist:
                 plan = _fuse_negacyclic(
                     self.plan_for_size(n, radices, omega, kernel)
                 )
@@ -448,11 +641,12 @@ def plan_for_size(
     omega: Optional[int] = None,
     kernel: Optional[str] = None,
     twist: str = "",
+    ordering: str = ORDER_NATURAL,
 ) -> TransformPlan:
     """Build a plan in the default cache (see
     :meth:`PlanCache.plan_for_size`)."""
     return DEFAULT_PLAN_CACHE.plan_for_size(
-        n, radices, omega, kernel, twist
+        n, radices, omega, kernel, twist, ordering
     )
 
 

@@ -5,7 +5,14 @@ working set is viewed as ``(blocks, radix, tail)``; a small DFT is
 applied along the ``radix`` axis for all blocks/columns at once, the
 inter-stage twiddles are applied, and the block axis grows by the
 radix.  After the last stage a single digit-reversal permutation
-restores natural output order.
+restores natural output order — unless the plan is *decimated*
+(``plan.ordering == ORDER_DECIMATED``): a decimation-in-frequency
+forward then simply keeps the decimated block order (no gather), and
+its decimation-in-time inverse companion (``plan.dit``) walks the
+reversed stage schedule with each twiddle diagonal applied *before*
+its DFT, consuming decimated spectra and emitting natural-order
+coefficients with no gather either.  Convolution pipelines pair the
+two and never permute at all.
 
 The stage DFT itself dispatches on the plan's *kernel backend*
 (:mod:`repro.ntt.kernels`): the ``loop`` reference walks the
@@ -40,7 +47,7 @@ import numpy as np
 
 from repro.field.vector import vmul
 from repro.ntt.kernels import stage_dft_loop, stage_executor
-from repro.ntt.plan import TransformPlan
+from repro.ntt.plan import ORDER_DECIMATED, TransformPlan
 
 
 def _stage_dft(block_view: np.ndarray, matrix: np.ndarray) -> np.ndarray:
@@ -65,6 +72,8 @@ def execute_plan_batch(values: np.ndarray, plan: TransformPlan) -> np.ndarray:
         raise ValueError(f"expected a (batch, {plan.n}) uint64 matrix")
     batch = data.shape[0]
     kernel = stage_executor(plan.kernel or None)
+    if plan.dit:
+        return _execute_dit_batch(data, plan, kernel)
 
     # Two ping-pong buffers cover every stage: the kernels write `dst`
     # from `src` without aliasing, and stage output shapes all hold
@@ -85,7 +94,55 @@ def execute_plan_batch(values: np.ndarray, plan: TransformPlan) -> np.ndarray:
         src = dst.reshape(rows * radix, tail)
         which = 1 - which
     out = src.reshape(batch, plan.n)
+    if plan.ordering == ORDER_DECIMATED:
+        # Permutation-free: the decimated block order *is* the output.
+        # `out` is one of the freshly allocated ping-pong buffers, so
+        # the caller owns it outright.
+        return out
     return out[:, plan.output_permutation]
+
+
+def _execute_dit_batch(
+    data: np.ndarray, plan: TransformPlan, kernel
+) -> np.ndarray:
+    """Decimation-in-time walk: pre-twiddles, growing tail, no gather.
+
+    Stage ``j`` views the working set as ``(groups, radix, tail)`` with
+    ``tail`` the product of the radices already executed; the stage's
+    twiddle diagonal multiplies the *input* view (the transpose of the
+    DIF schedule, where it followed the DFT), then the — transposed,
+    already folded into the plan's constants — stage DFT runs along the
+    radix axis.  Input is a decimated spectrum; output is natural-order
+    coefficients, with the ``n^{-1}`` scale folded into the plan.
+    """
+    batch = data.shape[0]
+    src = data
+    bufs = [np.empty_like(data), None]
+    which = 0
+    tail = 1
+    for stage in plan.stages:
+        radix = stage.radix
+        groups = (batch * plan.n) // (radix * tail)
+        view = src.reshape(groups, radix, tail)
+        if stage.twiddles is not None:
+            tw = stage.twiddles[np.newaxis, :, :]
+            if src is data:
+                # Never write the caller's array: pre-twiddle into the
+                # idle ping-pong buffer instead of in place.
+                if bufs[1 - which] is None:
+                    bufs[1 - which] = np.empty_like(data)
+                view = vmul(
+                    view, tw, out=bufs[1 - which].reshape(groups, radix, tail)
+                )
+            else:
+                vmul(view, tw, out=view)
+        if bufs[which] is None:
+            bufs[which] = np.empty_like(data)
+        kernel(view, stage, bufs[which].reshape(groups, radix, tail))
+        src = bufs[which]
+        which = 1 - which
+        tail *= radix
+    return src.reshape(batch, plan.n)
 
 
 def execute_plan_inverse_batch(
@@ -96,12 +153,13 @@ def execute_plan_inverse_batch(
     For a fused negacyclic plan (``plan.twist``) the inverse companion
     already carries the ``n^{-1}`` scale (and the ψ⁻¹-untwist) in its
     last-stage constants, so the plan execution *is* the whole inverse
-    — no trailing scale pass.
+    — no trailing scale pass.  Decimated pairs fold ``n^{-1}`` into the
+    DIT inverse's last-executed stage the same way.
     """
     if plan.inverse_plan is None:
         raise ValueError("plan was built without an inverse companion")
     spectrum = execute_plan_batch(values, plan.inverse_plan)
-    if plan.twist:
+    if plan.twist or plan.ordering == ORDER_DECIMATED:
         return spectrum
     # `spectrum` is freshly owned: scale in place.
     return vmul(

@@ -20,7 +20,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ntt.convolution import pointwise_mul
-from repro.ntt.plan import TransformPlan, plan_for_size
+from repro.ntt.plan import (
+    ORDER_DECIMATED,
+    ORDER_NATURAL,
+    TransformPlan,
+    decimated_companion,
+    plan_for_size,
+)
 from repro.ntt.staged import (
     execute_plan,
     execute_plan_batch,
@@ -60,7 +66,19 @@ class SSAMultiplier:
         A prebuilt :class:`~repro.ntt.plan.TransformPlan` to use
         instead of consulting the module-global plan cache — this is
         how :class:`repro.engine.Engine` pins its multipliers to a
-        per-engine cache.  Must match ``params.transform_size``.
+        per-engine cache.  Must match ``params.transform_size``.  A
+        natural-ordering plan is accepted as the canonical handle (the
+        decimated convolution pair is derived from it); a decimated
+        plan pins the convolution pair directly.
+    ordering:
+        Spectrum ordering of the convolution sandwich inside
+        ``multiply``/``multiply_many``/``square``:
+        :data:`~repro.ntt.plan.ORDER_DECIMATED` (the default) runs the
+        permutation-free DIF/DIT pair, zero digit-reversal gathers;
+        :data:`~repro.ntt.plan.ORDER_NATURAL` pins the historical
+        permuted route (the bit-exactness/bench baseline).
+        :meth:`forward_transform` always returns *natural-order*
+        spectra regardless.
 
     Examples
     --------
@@ -75,10 +93,25 @@ class SSAMultiplier:
     plan: Optional[TransformPlan] = field(
         default=None, repr=False, compare=False
     )
+    ordering: Optional[str] = None
     _plan: TransformPlan = field(init=False, repr=False, compare=False)
+    #: The plan pair the convolution sandwich executes — the decimated
+    #: companion of ``plan`` unless ``ordering=ORDER_NATURAL`` pins the
+    #: permuted oracle route.
+    convolution_plan: TransformPlan = field(
+        init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.params.validate()
+        resolved_ordering = (
+            ORDER_DECIMATED if self.ordering is None else self.ordering
+        )
+        if resolved_ordering not in (ORDER_NATURAL, ORDER_DECIMATED):
+            raise ValueError(
+                f"unknown ordering {self.ordering!r}; expected "
+                f"{ORDER_NATURAL!r} or {ORDER_DECIMATED!r}"
+            )
         if self.plan is not None:
             if self.plan.n != self.params.transform_size:
                 raise ValueError(
@@ -94,15 +127,34 @@ class SSAMultiplier:
                     f"plan runs the {self.plan.kernel!r} kernel but "
                     f"kernel={self.kernel!r} was requested"
                 )
-            self._plan = self.plan
+            if self.plan.ordering == ORDER_DECIMATED:
+                if self.plan.base_plan is None:
+                    raise ValueError(
+                        "decimated plan carries no natural base_plan"
+                    )
+                self.convolution_plan = self.plan
+                self._plan = self.plan.base_plan
+            else:
+                self._plan = self.plan
+                self.convolution_plan = (
+                    decimated_companion(self.plan)
+                    if resolved_ordering == ORDER_DECIMATED
+                    else self.plan
+                )
             return
         self._plan = plan_for_size(
             self.params.transform_size,
             tuple(self.radices) if self.radices is not None else None,
             kernel=self.kernel,
         )
+        self.convolution_plan = (
+            decimated_companion(self._plan)
+            if resolved_ordering == ORDER_DECIMATED
+            else self._plan
+        )
         # ``plan`` doubles as the public accessor (it used to be a
-        # read-only property); after init it always holds the live plan.
+        # read-only property); after init it always holds the live
+        # natural-ordering plan.
         self.plan = self._plan
 
     @classmethod
@@ -111,6 +163,7 @@ class SSAMultiplier:
         operand_bits: int,
         coefficient_bits: int = 24,
         kernel: Optional[str] = None,
+        ordering: Optional[str] = None,
     ) -> "SSAMultiplier":
         """Build a multiplier able to handle ``operand_bits`` operands.
 
@@ -121,18 +174,25 @@ class SSAMultiplier:
         return cls(
             params=params_for_bits(operand_bits, coefficient_bits),
             kernel=kernel,
+            ordering=ordering,
         )
 
     def forward_transform(self, value: int) -> np.ndarray:
-        """Decompose an operand and return its NTT spectrum."""
+        """Decompose an operand and return its *natural-order* spectrum.
+
+        Always executed under the natural-ordering plan so explicit
+        spectrum inspection keeps its historical layout, independent of
+        the ``ordering`` the convolution sandwich runs with.
+        """
         return execute_plan(decompose(value, self.params), self._plan)
 
     def multiply(self, a: int, b: int) -> int:
         """Exact product ``a · b`` via the full SSA pipeline."""
-        spectrum = pointwise_mul(
-            self.forward_transform(a), self.forward_transform(b)
+        operands = decompose_many([int(a), int(b)], self.params)
+        spectra = execute_plan_batch(operands, self.convolution_plan)
+        convolution = execute_plan_inverse(
+            pointwise_mul(spectra[0], spectra[1]), self.convolution_plan
         )
-        convolution = execute_plan_inverse(spectrum, self._plan)
         digits = carry_recover(convolution, self.params.coefficient_bits)
         return recompose(digits, self.params.coefficient_bits)
 
@@ -154,9 +214,10 @@ class SSAMultiplier:
         operands = decompose_many(
             [a for a, _ in pairs] + [b for _, b in pairs], self.params
         )
-        spectra = execute_plan_batch(operands, self._plan)
+        spectra = execute_plan_batch(operands, self.convolution_plan)
         convolutions = execute_plan_inverse_batch(
-            pointwise_mul(spectra[:count], spectra[count:]), self._plan
+            pointwise_mul(spectra[:count], spectra[count:]),
+            self.convolution_plan,
         )
         digit_rows = carry_recover_many(
             convolutions, self.params.coefficient_bits
@@ -165,9 +226,11 @@ class SSAMultiplier:
 
     def square(self, a: int) -> int:
         """Exact square ``a²`` using a single forward transform."""
-        spectrum_a = self.forward_transform(a)
+        spectrum_a = execute_plan(
+            decompose(int(a), self.params), self.convolution_plan
+        )
         convolution = execute_plan_inverse(
-            pointwise_mul(spectrum_a, spectrum_a), self._plan
+            pointwise_mul(spectrum_a, spectrum_a), self.convolution_plan
         )
         digits = carry_recover(convolution, self.params.coefficient_bits)
         return recompose(digits, self.params.coefficient_bits)

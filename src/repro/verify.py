@@ -21,7 +21,12 @@ before trusting any number the library prints:
     ordering intact;
 11. fused negacyclic plans (ψ-twist folded into stage constants)
     bit-identical to the explicit-twist ``loop``-kernel oracle, on
-    both stage kernels and through the hw-model ring.
+    both stage kernels and through the hw-model ring;
+12. permutation-free (decimated) plan pairs: DIF-forward spectra are
+    the natural spectra under the digit-reversal permutation, and
+    cyclic/fused-negacyclic convolutions through the DIT inverse are
+    bit-identical to the natural-order ``loop`` oracle, including
+    through the hw-model ring.
 """
 
 from __future__ import annotations
@@ -305,6 +310,68 @@ def _check_negacyclic_fused() -> CheckResult:
     )
 
 
+def _check_ordering() -> CheckResult:
+    import numpy as np
+
+    from repro.engine import Engine
+    from repro.field.solinas import P
+    from repro.ntt.convolution import cyclic_convolution_many
+    from repro.ntt.negacyclic import negacyclic_convolution_many
+    from repro.ntt.order import reorder_to_natural
+    from repro.ntt.plan import (
+        ORDER_DECIMATED,
+        TWIST_NEGACYCLIC,
+        plan_for_size,
+    )
+    from repro.ntt.staged import execute_plan_batch
+
+    rng = random.Random(10)
+    n, radices = 256, (4, 16, 4)
+    a = np.array(
+        [[rng.randrange(P) for _ in range(n)] for _ in range(3)],
+        dtype=np.uint64,
+    )
+    b = np.array(
+        [[rng.randrange(P) for _ in range(n)] for _ in range(3)],
+        dtype=np.uint64,
+    )
+    natural = plan_for_size(n, radices, kernel="loop")
+    decimated = plan_for_size(
+        n, radices, kernel="loop", ordering=ORDER_DECIMATED
+    )
+    spectra_ok = np.array_equal(
+        reorder_to_natural(execute_plan_batch(a, decimated), decimated),
+        execute_plan_batch(a, natural),
+    )
+    conv_ok = np.array_equal(
+        cyclic_convolution_many(a, b, decimated),
+        cyclic_convolution_many(a, b, natural),
+    )
+    fused_ok = np.array_equal(
+        negacyclic_convolution_many(
+            a,
+            b,
+            plan_for_size(
+                n,
+                radices,
+                kernel="limb-matmul",
+                twist=TWIST_NEGACYCLIC,
+                ordering=ORDER_DECIMATED,
+            ),
+        ),
+        negacyclic_convolution_many(a, b, natural),
+    )
+    hw_ring = Engine(backend="hw-model").ring(n)
+    hw_ok = np.array_equal(
+        hw_ring.convolve(a, b),
+        cyclic_convolution_many(a, b, natural),
+    )
+    return CheckResult(
+        "permutation-free plans vs natural-order loop oracle",
+        spectra_ok and conv_ok and fused_ok and hw_ok,
+    )
+
+
 CHECKS: List[Callable[[], CheckResult]] = [
     _check_field,
     _check_vector,
@@ -317,6 +384,7 @@ CHECKS: List[Callable[[], CheckResult]] = [
     _check_engine,
     _check_jobs_mp,
     _check_negacyclic_fused,
+    _check_ordering,
 ]
 
 

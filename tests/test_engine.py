@@ -467,13 +467,19 @@ class TestEngineFHE:
         assert [scheme.decrypt(keys, c) for c in ands] == [0, 0, 0, 1]
 
     def test_rlwe_bound_to_engine_plan(self):
-        from repro.ntt.plan import TWIST_NEGACYCLIC
+        from repro.ntt.plan import ORDER_DECIMATED, TWIST_NEGACYCLIC
 
         engine = Engine()
         params = RLWEParams(n=64, t=64, noise_bound=4)
         scheme = engine.fhe(params, rng=random.Random(37))
-        assert scheme.plan is engine.plan(64, twist=TWIST_NEGACYCLIC)
+        assert scheme.plan is engine.plan(
+            64, twist=TWIST_NEGACYCLIC, ordering=ORDER_DECIMATED
+        )
         assert scheme.plan.twist == TWIST_NEGACYCLIC
+        assert scheme.plan.ordering == ORDER_DECIMATED
+        assert scheme.plan.base_plan is engine.plan(
+            64, twist=TWIST_NEGACYCLIC
+        )
         secret = scheme.generate_secret()
         message = [i % params.t for i in range(params.n)]
         assert scheme.decrypt(secret, scheme.encrypt(secret, message)) == (
