@@ -26,10 +26,22 @@ Results go to two places:
   perf-trajectory point (FHE-workload series, one point per PR);
 - ``benchmarks/output/fhe_workload.txt`` — the human-readable table.
 
+With ``--inject`` the script switches into **resilience mode** (ISSUE
+7): it measures the ``software-mp`` batch-multiply throughput clean vs
+with one worker SIGKILLed mid-batch by the deterministic injection
+harness (:mod:`repro.engine.faultinject`), asserts bit-identical
+recovery on every run, and gates the recovery overhead — CI runs
+``--smoke --inject worker-kill`` and fails if recovering from the kill
+costs more than 25% over the clean run.  Full resilience runs measure
+the paper's 64K workload (786432-bit products) and write the
+``BENCH_resilience.json`` trajectory point.
+
 Usage::
 
     python benchmarks/bench_fhe_workload.py            # full
     python benchmarks/bench_fhe_workload.py --smoke    # CI gate
+    python benchmarks/bench_fhe_workload.py --smoke --inject worker-kill
+    python benchmarks/bench_fhe_workload.py --inject worker-kill  # 64K
 """
 
 from __future__ import annotations
@@ -56,6 +68,7 @@ from repro.fhe.params import MEDIUM, SMALL_DGHV, TOY  # noqa: E402
 from repro.hw.timing import PAPER_TIMING  # noqa: E402
 
 DEFAULT_JSON = REPO_ROOT / "BENCH_fhe_workload.json"
+DEFAULT_RESILIENCE_JSON = REPO_ROOT / "BENCH_resilience.json"
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
 #: The jobs path reuses the same batched SSA pass; it must stay within
@@ -76,6 +89,24 @@ RLWE_ACCEPTANCE_N = 65536
 #: effects cannot flake CI.
 RLWE_ORDERING_FLOOR = 1.0
 RLWE_ORDERING_JITTER = 0.05
+#: Resilience mode (ISSUE 7): recovering from one worker SIGKILL must
+#: cost at most this fraction over the clean run on the smoke workload
+#: (CI gate).  Recovery replays the lost shards on a respawned pool
+#: whose workers rebuild their engines and plan caches from scratch,
+#: so the workload is sized to amortize that fixed cost well below the
+#: gate (~4-8x headroom on a 1-CPU container).
+MAX_RECOVERY_OVERHEAD = 0.25
+#: Full resilience runs measure the paper's 64K workload, where the
+#: respawned workers' 64K-point plan rebuild is a much larger fixed
+#: cost; the lenient ceiling catches catastrophic regressions (e.g.
+#: recovery re-running the whole batch more than once) without gating
+#: on machine-dependent plan-build times.
+FULL_MAX_RECOVERY_OVERHEAD = 0.75
+#: (bits, batch) of the resilience workloads: smoke amortizes recovery
+#: under the CI gate; full is the paper point (786432-bit products ↔
+#: 64K-point transforms).
+RESILIENCE_SMOKE_WORKLOAD = (98_304, 96)
+RESILIENCE_FULL_WORKLOAD = (786_432, 48)
 
 
 def _best_time(fn, repeats: int) -> float:
@@ -449,6 +480,161 @@ def run_suite(smoke: bool, repeats: Optional[int], seed: int) -> dict:
     return report
 
 
+def resilience_case(
+    bits: int, count: int, repeats: int, seed: int, inject_spec: str
+) -> dict:
+    """Clean vs injected-kill ``software-mp`` batch-multiply throughput.
+
+    Every run (clean and injected alike) is asserted bit-identical to
+    Python big-int truth; the injected runs re-arm the fault plan per
+    repeat, so each one pays one worker SIGKILL plus the full recovery
+    (pool respawn, worker re-warm, lost-shard replay).
+    """
+    from repro.engine import ExecutionConfig, faultinject
+
+    rng = random.Random(seed)
+    pairs = [
+        (rng.getrandbits(bits) | 1, rng.getrandbits(bits) | 1)
+        for _ in range(count)
+    ]
+    left = [a for a, _ in pairs]
+    right = [b for _, b in pairs]
+    truth = [a * b for a, b in pairs]
+    flags = {"clean_ok": True, "injected_ok": True}
+    engine = Engine(
+        config=ExecutionConfig(workers=2), backend="software-mp"
+    )
+    try:
+        # Warm the pool, the worker engines and every plan cache so
+        # the clean baseline measures steady-state throughput.
+        flags["clean_ok"] &= engine.multiply(left, right) == truth
+
+        def clean():
+            flags["clean_ok"] &= engine.multiply(left, right) == truth
+
+        clean_s = _best_time(clean, repeats)
+        respawns_before = engine.backend.fault_report.respawns
+
+        def injected():
+            with faultinject.inject(inject_spec):
+                flags["injected_ok"] &= (
+                    engine.multiply(left, right) == truth
+                )
+
+        injected_s = _best_time(injected, repeats)
+        respawns = engine.backend.fault_report.respawns - respawns_before
+        fault_events = [
+            event.render() for event in engine.backend.fault_report.events
+        ]
+    finally:
+        engine.close()
+    return {
+        "bits": bits,
+        "count": count,
+        "inject": inject_spec,
+        "clean_s": clean_s,
+        "injected_s": injected_s,
+        "clean_ops_per_s": count / clean_s,
+        "injected_ops_per_s": count / injected_s,
+        "recovery_overhead": injected_s / clean_s - 1.0,
+        "respawns": respawns,
+        "clean_ok": flags["clean_ok"],
+        "injected_ok": flags["injected_ok"],
+        "fault_events": fault_events,
+    }
+
+
+def evaluate_resilience(report: dict, smoke: bool) -> List[str]:
+    ceiling = (
+        MAX_RECOVERY_OVERHEAD if smoke else FULL_MAX_RECOVERY_OVERHEAD
+    )
+    failures = []
+    for r in report["resilience"]:
+        tag = f"resilience bits={r['bits']} count={r['count']}"
+        if not r["clean_ok"]:
+            failures.append(f"{tag}: clean products diverged from truth")
+        if not r["injected_ok"]:
+            failures.append(
+                f"{tag}: recovered products NOT bit-identical to truth"
+            )
+        if r["respawns"] < 1:
+            failures.append(
+                f"{tag}: no pool respawn recorded — the injected kill "
+                f"never fired"
+            )
+        if r["recovery_overhead"] > ceiling:
+            failures.append(
+                f"{tag}: recovery overhead "
+                f"{r['recovery_overhead']:+.1%} exceeds the "
+                f"{ceiling:.0%} ceiling"
+            )
+    return failures
+
+
+def run_resilience_suite(
+    smoke: bool, repeats: Optional[int], seed: int, inject_spec: str
+) -> dict:
+    if inject_spec in ("worker-kill", "kill"):
+        inject_spec = "worker-kill:0"
+    bits, count = (
+        RESILIENCE_SMOKE_WORKLOAD if smoke else RESILIENCE_FULL_WORKLOAD
+    )
+    repeats = repeats or (2 if smoke else 2)
+    results = [resilience_case(bits, count, repeats, seed, inject_spec)]
+    report = {
+        "benchmark": "resilience",
+        "schema_version": 1,
+        "mode": "smoke" if smoke else "full",
+        "created_unix": time.time(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "config": {
+            "repeats": repeats,
+            "seed": seed,
+            "workers": 2,
+            "inject": inject_spec,
+            "timer": "best-of-repeats wall clock",
+        },
+        "resilience": results,
+    }
+    failures = evaluate_resilience(report, smoke)
+    report["acceptance"] = {
+        "max_recovery_overhead": (
+            MAX_RECOVERY_OVERHEAD if smoke else FULL_MAX_RECOVERY_OVERHEAD
+        ),
+        "failures": failures,
+        "passed": not failures,
+    }
+    return report
+
+
+def render_resilience_table(report: dict) -> str:
+    lines = [
+        "Resilience: software-mp throughput, clean vs one injected "
+        "worker kill",
+        "",
+        f"{'bits':>8} {'count':>6} {'clean s':>9} {'injected s':>11} "
+        f"{'overhead':>9} {'respawns':>9} {'ok':>4}",
+    ]
+    for r in report["resilience"]:
+        ok = r["clean_ok"] and r["injected_ok"]
+        lines.append(
+            f"{r['bits']:>8} {r['count']:>6} {r['clean_s']:>9.3f} "
+            f"{r['injected_s']:>11.3f} {r['recovery_overhead']:>+8.1%} "
+            f"{r['respawns']:>9} {'yes' if ok else 'NO':>4}"
+        )
+    lines.append("")
+    lines.append("fault events observed:")
+    for r in report["resilience"]:
+        for event in r["fault_events"]:
+            lines.append(f"  {event}")
+    return "\n".join(lines)
+
+
 def test_smoke_workload():
     """Pytest hook: the smoke suite must pass its gates."""
     report = run_suite(smoke=True, repeats=1, seed=0xFE)
@@ -472,25 +658,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help=(
             "where to write the JSON report (default: repo-root "
-            "BENCH_fhe_workload.json on full runs, nowhere on --smoke)"
+            "BENCH_fhe_workload.json — or BENCH_resilience.json with "
+            "--inject — on full runs, nowhere on --smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--inject",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "resilience mode: measure software-mp throughput clean vs "
+            "with this fault injected (e.g. 'worker-kill'); gates "
+            "recovery overhead and bit-identical recovery instead of "
+            "the FHE-workload gates"
         ),
     )
     args = parser.parse_args(argv)
 
-    report = run_suite(args.smoke, args.repeats, args.seed)
-    table = render_table(report)
+    if args.inject:
+        report = run_resilience_suite(
+            args.smoke, args.repeats, args.seed, args.inject
+        )
+        table = render_resilience_table(report)
+        default_json = DEFAULT_RESILIENCE_JSON
+        output_name = "resilience.txt"
+    else:
+        report = run_suite(args.smoke, args.repeats, args.seed)
+        table = render_table(report)
+        default_json = DEFAULT_JSON
+        output_name = "fhe_workload.txt"
     print(table)
 
     json_path = args.json
     if json_path is None and not args.smoke:
-        json_path = DEFAULT_JSON
+        json_path = default_json
     if json_path is not None:
         json_path.parent.mkdir(parents=True, exist_ok=True)
         json_path.write_text(json.dumps(report, indent=2) + "\n")
         print(f"\nwrote {json_path}")
     if not args.smoke:
         OUTPUT_DIR.mkdir(exist_ok=True)
-        (OUTPUT_DIR / "fhe_workload.txt").write_text(table + "\n")
+        (OUTPUT_DIR / output_name).write_text(table + "\n")
 
     failures = report["acceptance"]["failures"]
     if failures:
@@ -498,7 +707,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("\nPASS: every gate decrypts correctly, overhead gates met")
+    if args.inject:
+        print(
+            "\nPASS: recovery bit-identical, respawn recorded, "
+            "overhead gate met"
+        )
+    else:
+        print("\nPASS: every gate decrypts correctly, overhead gates met")
     return 0
 
 

@@ -53,6 +53,11 @@ def _headline_fhe_workload(report: dict) -> Tuple[str, float]:
     return "best AND gates/s", best
 
 
+def _headline_resilience(report: dict) -> Tuple[str, float]:
+    best = max(r["injected_ops_per_s"] for r in report["resilience"])
+    return "injected-kill products/s", best
+
+
 def _headline_generic(report: dict) -> Tuple[str, float]:
     """Fallback: first positive float leaf under ``results``."""
 
@@ -76,6 +81,7 @@ HEADLINES: Dict[str, Callable[[dict], Tuple[str, float]]] = {
     "ntt_kernels": _headline_ntt_kernels,
     "ssa_multiply": _headline_ssa_multiply,
     "fhe_workload": _headline_fhe_workload,
+    "resilience": _headline_resilience,
 }
 
 

@@ -156,19 +156,36 @@ def _cmd_batch(args: argparse.Namespace) -> None:
 
 
 def _cmd_throughput(args: argparse.Namespace) -> None:
+    import contextlib
+
     from repro.hw.batch import measure_software_batch, schedule_batch
 
+    inject_spec = getattr(args, "inject", None)
+    if inject_spec and getattr(args, "workers", None) is None:
+        # Fault injection targets the sharded path; a single-process
+        # run has no workers to kill.
+        args.workers = 2
     engine = _engine(args)
+    scope = contextlib.nullcontext()
+    if inject_spec:
+        from repro.engine import faultinject
+
+        scope = faultinject.inject(inject_spec)
     try:
-        comparison = measure_software_batch(
-            bits=args.bits,
-            count=args.count,
-            seed=args.seed,
-            engine=engine,
-        )
+        with scope:
+            comparison = measure_software_batch(
+                bits=args.bits,
+                count=args.count,
+                seed=args.seed,
+                engine=engine,
+            )
+        fault_report = getattr(engine.backend, "fault_report", None)
     finally:
         engine.close()
     print(comparison.render())
+    if inject_spec and fault_report is not None:
+        print()
+        print(fault_report.render())
     print()
     print(schedule_batch(args.count).render())
 
@@ -268,6 +285,18 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "measure the batched path on the software-mp backend with "
             "this many worker processes (default: single-process)"
+        ),
+    )
+    pt.add_argument(
+        "--inject",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "arm the runtime fault-injection harness for the measured "
+            "run (e.g. 'worker-kill', 'worker-kill:1', "
+            "'shard-delay:0:0.5'); implies --workers 2 when --workers "
+            "is not given, and prints the backend's fault report"
         ),
     )
     pt.set_defaults(func=_cmd_throughput)

@@ -43,6 +43,19 @@ from repro.engine.config import (
 )
 from repro.engine.core import Engine, EngineMultiplier, default_engine
 from repro.engine.jobs import JobHandle, JobScheduler, as_completed
+from repro.engine.resilience import (
+    NO_RETRY,
+    Deadline,
+    FaultEvent,
+    FaultReport,
+    JobTimeoutError,
+    RetryPolicy,
+    RuntimeFaultError,
+    ShardVerificationError,
+    WorkerCrashError,
+    current_deadline,
+    deadline_scope,
+)
 from repro.engine.ring import Ring
 
 __all__ = [
@@ -67,4 +80,15 @@ __all__ = [
     "CACHE_PRIVATE",
     "CACHE_SHARED",
     "CACHE_OFF",
+    "RetryPolicy",
+    "NO_RETRY",
+    "Deadline",
+    "deadline_scope",
+    "current_deadline",
+    "RuntimeFaultError",
+    "WorkerCrashError",
+    "JobTimeoutError",
+    "ShardVerificationError",
+    "FaultEvent",
+    "FaultReport",
 ]

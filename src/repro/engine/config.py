@@ -74,6 +74,21 @@ class ExecutionConfig:
         Worker-process count for the ``software-mp`` backend (the
         batch-axis sharding pool).  ``None`` asks for one worker per
         CPU (``os.cpu_count()``); other backends ignore it.
+    max_respawns:
+        How many times the ``software-mp`` backend rebuilds its worker
+        pool *within one batch* after a worker crash before it stops
+        retrying the pool and degrades gracefully: the remaining shards
+        run in-process on the ``software`` path (bit-identical by
+        construction), the batch still succeeds, and the degradation is
+        recorded in the backend's
+        :class:`~repro.engine.resilience.FaultReport`.
+    verify_shards:
+        ``software-mp`` spot-check: after reassembling a sharded batch,
+        re-run the first row/product of every shard on the in-process
+        ``software`` oracle and raise
+        :class:`~repro.engine.resilience.ShardVerificationError` on any
+        mismatch instead of returning silently wrong values.  Costs one
+        extra row/product per shard; off by default.
 
     A config is hashable and pickle-stable: the kernel name is resolved
     (including the one-time environment read) at construction, so a
@@ -90,6 +105,8 @@ class ExecutionConfig:
     fidelity: str = "fast"
     coefficient_bits: int = 24
     workers: Optional[int] = None
+    max_respawns: int = 2
+    verify_shards: bool = False
 
     def __post_init__(self) -> None:
         # The one and only environment read: resolve_kernel(None)
@@ -118,6 +135,8 @@ class ExecutionConfig:
             raise ValueError("coefficient_bits must be positive")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be a positive integer or None")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
 
     @classmethod
     def default(cls, **overrides: object) -> "ExecutionConfig":

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import as_completed as _futures_as_completed
 from dataclasses import dataclass
@@ -52,6 +53,15 @@ from typing import (
 import numpy as np
 
 from repro.engine.config import ExecutionConfig
+from repro.engine.resilience import (
+    NO_RETRY,
+    Deadline,
+    FaultReport,
+    JobTimeoutError,
+    RetryPolicy,
+    RuntimeFaultError,
+    deadline_scope,
+)
 
 # -- job types ------------------------------------------------------------
 
@@ -199,14 +209,28 @@ class JobHandle:
     job's outcome; ``done()`` / ``exception()`` / ``cancel()`` follow
     :class:`concurrent.futures.Future` semantics.  After completion,
     :attr:`report` holds whatever timing artifact the engine's backend
-    produced for the job (``None`` on the software backends).
+    produced for the job (``None`` on the software backends) and
+    :attr:`fault_report` holds the job's own resilience story: the
+    backend fault events observed while it ran (worker crashes, pool
+    respawns, degradation), plus any scheduler-level retries and the
+    final outcome (``recovered`` / ``dead-letter``).
     """
 
-    def __init__(self, job: Job, job_id: int):
+    def __init__(
+        self,
+        job: Job,
+        job_id: int,
+        deadline: Optional[Deadline] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.job = job
         self.job_id = job_id
         self._future: Future = Future()
         self._report: Optional[object] = None
+        self._deadline = deadline
+        self._retry = retry if retry is not None else NO_RETRY
+        #: This job's fault/recovery event log (see class docstring).
+        self.fault_report = FaultReport()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "done" if self.done() else "pending"
@@ -325,6 +349,15 @@ class JobScheduler:
         self._pool: Optional[ThreadPoolExecutor] = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-jobs"
         )
+        # Handles whose futures are not yet resolved (pruned by a
+        # done-callback); close() cancels whatever is still queued here.
+        self._pending: set = set()
+        #: Jobs that failed for good on an infrastructure fault — retry
+        #: budget exhausted, deadline blown, or cancelled by
+        #: :meth:`close` — kept with their handles (job payload +
+        #: :attr:`JobHandle.fault_report`) for post-mortem inspection
+        #: or manual resubmission.
+        self.dead_letters: List[JobHandle] = []
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -372,38 +405,153 @@ class JobScheduler:
             daemon=True,
         ).start()
 
+    def close(self, wait: bool = True) -> List[JobHandle]:
+        """Shut down, *cancelling* still-queued jobs first.
+
+        Where :meth:`shutdown` drains the queue, ``close`` drops it:
+        every job that has not started is cancelled (its handle
+        resolves to :exc:`~concurrent.futures.CancelledError` and lands
+        on :attr:`dead_letters`), the job currently running — if any —
+        finishes, and the scheduler then shuts down.  Returns the
+        cancelled handles.  Idempotent, like :meth:`shutdown`.
+        """
+        with self._lock:
+            pending = list(self._pending)
+        cancelled = [
+            handle
+            for handle in sorted(pending, key=lambda h: h.job_id)
+            if handle.cancel()
+        ]
+        for handle in cancelled:
+            handle.fault_report.record(
+                "dead-letter",
+                "cancelled while queued by JobScheduler.close()",
+            )
+        with self._lock:
+            self.dead_letters.extend(cancelled)
+        self.shutdown(wait=wait)
+        return cancelled
+
     # -- submission --------------------------------------------------------
 
-    def submit(self, job: Job) -> JobHandle:
-        """Queue one job; returns its :class:`JobHandle` immediately."""
+    def submit(
+        self,
+        job: Job,
+        *,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> JobHandle:
+        """Queue one job; returns its :class:`JobHandle` immediately.
+
+        ``timeout`` (seconds) arms a :class:`Deadline` whose clock
+        starts *now*, at submission — queue wait, every retry and every
+        backend shard wait all consume the same budget.  A blown
+        deadline resolves the handle with
+        :class:`~repro.engine.resilience.JobTimeoutError` (hung
+        ``software-mp`` workers are abandoned, not joined).
+
+        ``retry`` (a :class:`~repro.engine.resilience.RetryPolicy`)
+        re-runs the job after retryable infrastructure faults with the
+        policy's deterministic backoff; the default ``NO_RETRY`` fails
+        fast.  A job that exhausts its budget (or fails on a
+        non-retryable :class:`RuntimeFaultError`) lands on
+        :attr:`dead_letters`.
+        """
         run = getattr(job, "run", None)
         if not callable(run):
             raise TypeError(
                 f"not a job (no run(engine) method): {job!r}"
             )
-        handle = JobHandle(job, next(self._ids))
+        deadline = Deadline.after(timeout) if timeout is not None else None
+        handle = JobHandle(
+            job, next(self._ids), deadline=deadline, retry=retry
+        )
         with self._lock:
             if self._pool is None:
                 raise RuntimeError("scheduler is shut down")
+            self._pending.add(handle)
+            handle._future.add_done_callback(
+                lambda _f, h=handle: self._pending.discard(h)
+            )
             self._pool.submit(self._execute, job, handle)
         return handle
 
     def _execute(self, job: Job, handle: JobHandle) -> None:
-        """Dispatcher-thread body: run, capture report, resolve."""
+        """Dispatcher-thread body: run under deadline/retry, resolve.
+
+        Backend fault events that occur while this job runs are copied
+        onto the handle's :attr:`~JobHandle.fault_report` (the backend
+        keeps its own cumulative log), so a caller holding only the
+        handle sees the full story of *their* job.
+        """
         if not handle._future.set_running_or_notify_cancel():
             return
-        # Clear this thread's report slot first: a job that fails (or
-        # never reaches a backend call) must not inherit the previous
-        # job's timing artifact.
-        self.engine.last_report = None
-        try:
-            result = job.run(self.engine)
-        except BaseException as error:
+        backend_report = getattr(
+            self.engine.backend, "fault_report", None
+        )
+        policy = handle._retry
+        deadline = handle._deadline
+        attempt = 0
+        while True:
+            mark = (
+                len(backend_report.events)
+                if backend_report is not None
+                else 0
+            )
+            # Clear this thread's report slot first: a job that fails
+            # (or never reaches a backend call) must not inherit the
+            # previous job's timing artifact.
+            self.engine.last_report = None
+            error: Optional[BaseException] = None
+            result = None
+            try:
+                if deadline is not None and deadline.expired:
+                    raise JobTimeoutError(
+                        f"job {handle.job_id} "
+                        f"({getattr(job, 'kind', '?')}) expired before "
+                        f"it ran — queue wait and/or earlier attempts "
+                        f"consumed its timeout"
+                    )
+                with deadline_scope(deadline):
+                    result = job.run(self.engine)
+            except BaseException as err:
+                error = err
+            if backend_report is not None:
+                handle.fault_report.extend(backend_report.events[mark:])
+            if error is None:
+                if attempt > 0:
+                    handle.fault_report.record(
+                        "recovered",
+                        f"succeeded on retry {attempt}",
+                    )
+                handle._report = self.engine.last_report
+                handle._future.set_result(result)
+                return
+            expired = deadline is not None and deadline.expired
+            if policy.should_retry(error, attempt) and not expired:
+                delay = policy.delay(attempt)
+                if deadline is not None:
+                    delay = min(delay, max(deadline.remaining(), 0.0))
+                handle.fault_report.record(
+                    "retry",
+                    f"attempt {attempt + 1} failed ({error!r}); "
+                    f"retrying after {delay:.3g}s backoff",
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+                continue
+            if isinstance(error, RuntimeFaultError):
+                handle.fault_report.record(
+                    "dead-letter",
+                    f"failed for good after {attempt + 1} attempt(s): "
+                    f"{error!r}",
+                )
+                with self._lock:
+                    self.dead_letters.append(handle)
             handle._report = self.engine.last_report
             handle._future.set_exception(error)
-        else:
-            handle._report = self.engine.last_report
-            handle._future.set_result(result)
+            return
 
     # -- mapping -----------------------------------------------------------
 

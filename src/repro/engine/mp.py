@@ -21,6 +21,7 @@ by reference) for both the ``fork`` and ``spawn`` start methods.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,7 +53,33 @@ def _engine():
     return _WORKER_ENGINE
 
 
-def multiply_shard(params, pairs: Sequence[Tuple[int, int]]) -> List[int]:
+def apply_inject(inject: str) -> None:
+    """Execute a fault-injection directive inside the worker.
+
+    ``""`` is the hot path (no fault armed).  ``"kill"`` SIGKILLs this
+    worker before it computes — the parent sees a broken pool exactly
+    as it would for an OOM kill.  ``"delay:<s>"`` sleeps, modelling a
+    hung shard.  Directives arrive in the task payload (never via
+    shared state), so they behave identically under ``fork`` and
+    ``spawn`` and cannot leak into replayed shards.
+    """
+    if not inject:
+        return
+    if inject == "kill":
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif inject.startswith("delay:"):
+        import time
+
+        time.sleep(float(inject.split(":", 1)[1]))
+    else:  # pragma: no cover - parent validates specs before shipping
+        raise ValueError(f"unknown inject directive {inject!r}")
+
+
+def multiply_shard(
+    params, pairs: Sequence[Tuple[int, int]], inject: str = ""
+) -> List[int]:
     """One contiguous shard of a ``multiply_many`` batch.
 
     ``params`` is the :class:`~repro.ssa.encode.SSAParameters` the
@@ -62,6 +89,7 @@ def multiply_shard(params, pairs: Sequence[Tuple[int, int]]) -> List[int]:
     config's ``batch_chunk`` (the peak-working-set bound on one SSA
     pass) is honored by the same code path the parent uses.
     """
+    apply_inject(inject)
     engine = _engine()
     products, _ = engine.backend.multiply_many(
         engine, engine.multiplier(params=params), list(pairs)
@@ -89,6 +117,7 @@ def transform_shard(
     inverse: bool,
     twist: str = "",
     ordering: str = "",
+    inject: str = "",
 ) -> np.ndarray:
     """One contiguous row-shard of a ``(batch, n)`` transform.
 
@@ -104,6 +133,7 @@ def transform_shard(
         execute_plan_inverse_batch,
     )
 
+    apply_inject(inject)
     plan = _shard_plan(n, radices, twist, ordering)
     if inverse:
         return execute_plan_inverse_batch(rows, plan)
@@ -141,6 +171,7 @@ def transform_shard_shm(
     inverse: bool,
     twist: str = "",
     ordering: str = "",
+    inject: str = "",
 ) -> Tuple[int, int]:
     """Shared-memory variant of :func:`transform_shard`.
 
@@ -156,6 +187,7 @@ def transform_shard_shm(
         execute_plan_inverse_batch,
     )
 
+    apply_inject(inject)
     plan = _shard_plan(n, radices, twist, ordering)
     shm_in = _attach_shm(in_name)
     shm_out = _attach_shm(out_name)
@@ -173,15 +205,26 @@ def transform_shard_shm(
     return start, stop
 
 
-def probe() -> int:
-    """Cheap liveness probe (returns the worker's PID)."""
-    import os
+def probe(block_s: float = 0.0) -> int:
+    """Liveness probe: returns this worker's PID.
 
+    ``block_s`` briefly occupies the worker before answering, so a
+    health check submitting one probe per worker can force *distinct*
+    workers to answer (an idle worker picks up the next queued probe
+    instead of the one already blocking) — that is how
+    :class:`~repro.engine.backends.SoftwareMPBackend` declares a pool
+    healthy only once every worker has answered.
+    """
+    if block_s > 0:
+        import time
+
+        time.sleep(block_s)
     return os.getpid()
 
 
 __all__ = [
     "initialize_worker",
+    "apply_inject",
     "multiply_shard",
     "transform_shard",
     "transform_shard_shm",

@@ -1,0 +1,263 @@
+"""Resilience primitives for the jobs → backend → mp vertical.
+
+The paper's accelerator is a throughput machine meant to run sustained
+streams of products; a serving tier on top of it has to survive the
+failures a long-running process pool actually sees — a worker SIGKILLed
+by the OOM killer, a shard that hangs, a result corrupted in flight.
+This module holds the vocabulary every layer shares:
+
+- :class:`RetryPolicy` — deterministic capped exponential backoff (no
+  wall-clock randomness: the delay for attempt *k* is a pure function
+  of the policy, so recovery schedules are reproducible in tests);
+- :class:`Deadline` — an absolute monotonic-clock cutoff threaded from
+  ``JobScheduler.submit(timeout=...)`` down to the backend's shard
+  waits via :func:`deadline_scope` / :func:`current_deadline`;
+- typed failures (:class:`WorkerCrashError`, :class:`JobTimeoutError`,
+  :class:`ShardVerificationError`) so callers can route infrastructure
+  faults differently from value errors in their own job code;
+- :class:`FaultReport` — an append-only event log recording what
+  failed, what was retried or replayed, and how the run recovered
+  (pool respawn, graceful degradation, dead-letter).
+
+Nothing here sleeps or spawns by itself; the scheduler and the
+``software-mp`` backend drive these types.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple, Type
+
+
+# -- typed failures --------------------------------------------------------
+
+
+class RuntimeFaultError(RuntimeError):
+    """Base class for runtime (infrastructure) faults.
+
+    Distinguishes "the machinery running the job broke" from "the job's
+    own math raised": only the former is eligible for automatic retry
+    and dead-lettering.
+    """
+
+
+class WorkerCrashError(RuntimeFaultError):
+    """A worker process died (or never answered the liveness probe)."""
+
+
+class JobTimeoutError(RuntimeFaultError, TimeoutError):
+    """A job (or one of its shards) exceeded its deadline."""
+
+
+class ShardVerificationError(RuntimeFaultError):
+    """A shard result failed its spot-check against the in-process
+    oracle — the batch was NOT silently reassembled."""
+
+
+#: Exception types the stock retry policy treats as transient.  A
+#: :class:`JobTimeoutError` is deliberately absent: its deadline is
+#: already blown, so a retry would expire immediately.
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    WorkerCrashError,
+    ShardVerificationError,
+)
+
+
+# -- retry policy ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic capped exponential backoff.
+
+    The delay before retry ``attempt`` (0-based) is
+    ``min(base_delay_s * backoff_factor**attempt, max_delay_s)`` —
+    no jitter, by design: recovery schedules must be reproducible so
+    the fault-injection tests can assert them exactly.
+    """
+
+    max_retries: int = 0
+    base_delay_s: float = 0.01
+    backoff_factor: float = 2.0
+    max_delay_s: float = 1.0
+    retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before 0-based retry ``attempt`` (capped)."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        return min(
+            self.base_delay_s * self.backoff_factor**attempt,
+            self.max_delay_s,
+        )
+
+    def delays(self) -> List[float]:
+        """The full deterministic backoff schedule."""
+        return [self.delay(a) for a in range(self.max_retries)]
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether 0-based ``attempt`` may be retried after ``error``."""
+        return attempt < self.max_retries and isinstance(
+            error, self.retry_on
+        )
+
+
+#: The stock "fail fast" policy (``submit`` default).
+NO_RETRY = RetryPolicy(max_retries=0)
+
+
+# -- deadlines -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute cutoff on the monotonic clock.
+
+    Built once (at job submission), then threaded *by value* through
+    retries and shard waits — every layer measures against the same
+    instant, so queue wait, retries and backoff all consume the same
+    budget.
+    """
+
+    expires_at: float  # time.monotonic() stamp
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        if seconds <= 0:
+            raise ValueError("timeout must be positive")
+        return cls(expires_at=time.monotonic() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+
+_SCOPE = threading.local()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The innermost active :func:`deadline_scope` of this thread."""
+    stack = getattr(_SCOPE, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[None]:
+    """Make ``deadline`` visible to backend calls on this thread.
+
+    ``None`` is accepted (and pushes nothing) so callers can wrap
+    unconditionally.  Scopes nest; the innermost wins.
+    """
+    if deadline is None:
+        yield
+        return
+    stack = getattr(_SCOPE, "stack", None)
+    if stack is None:
+        stack = _SCOPE.stack = []
+    stack.append(deadline)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+# -- fault reporting -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One observed fault or recovery action."""
+
+    kind: str  # worker-crash | respawn | degraded | timeout |
+    #            shard-corruption | retry | recovered | dead-letter
+    detail: str = ""
+    shards: Tuple[int, ...] = ()
+
+    def render(self) -> str:
+        where = f" shards={list(self.shards)}" if self.shards else ""
+        return f"[{self.kind}]{where} {self.detail}".rstrip()
+
+
+@dataclass
+class FaultReport:
+    """Append-only log of what failed and how the run recovered.
+
+    One lives on each :class:`~repro.engine.backends.SoftwareMPBackend`
+    (the pool-supervision story: crashes, respawns, degradation) and
+    one on each :class:`~repro.engine.jobs.JobHandle` (the job's own
+    story: the backend events observed during its run, plus retries and
+    the final outcome).  Appends are GIL-atomic list appends, so the
+    dispatcher thread and callers can read concurrently.
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def record(
+        self, kind: str, detail: str = "", shards: Tuple[int, ...] = ()
+    ) -> FaultEvent:
+        event = FaultEvent(kind=kind, detail=detail, shards=tuple(shards))
+        self.events.append(event)
+        return event
+
+    def extend(self, events) -> None:
+        self.events.extend(events)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def respawns(self) -> int:
+        return self.count("respawn")
+
+    @property
+    def retries(self) -> int:
+        return self.count("retry")
+
+    @property
+    def degraded(self) -> bool:
+        return self.count("degraded") > 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.events
+
+    def render(self) -> str:
+        if not self.events:
+            return "fault report: clean run (no faults observed)"
+        lines = [f"fault report: {len(self.events)} event(s)"]
+        lines += [f"  {event.render()}" for event in self.events]
+        return "\n".join(lines)
+
+
+__all__ = [
+    "RuntimeFaultError",
+    "WorkerCrashError",
+    "JobTimeoutError",
+    "ShardVerificationError",
+    "DEFAULT_RETRYABLE",
+    "RetryPolicy",
+    "NO_RETRY",
+    "Deadline",
+    "deadline_scope",
+    "current_deadline",
+    "FaultEvent",
+    "FaultReport",
+]

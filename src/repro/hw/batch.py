@@ -182,9 +182,12 @@ def measure_software_batch(
     reported, and the modeled speedup comes from
     :func:`schedule_batch` on the same batch size.
 
-    ``engine`` (an optional :class:`repro.engine.Engine`) supplies the
-    multiplier — and with it the engine's kernel and plan cache; by
-    default a standalone :class:`SSAMultiplier` is sized for ``bits``.
+    ``engine`` (an optional :class:`repro.engine.Engine`) routes both
+    paths through the engine — its kernel, its plan cache *and its
+    compute backend*, so an engine on ``software-mp`` measures the
+    sharded worker-pool path (and exercises its fault recovery when
+    the injection harness is armed); by default a standalone
+    :class:`SSAMultiplier` is sized for ``bits``.
     """
     from repro.ssa.multiplier import SSAMultiplier
 
@@ -192,13 +195,20 @@ def measure_software_batch(
         raise ValueError("count must be positive")
     rng = random.Random(seed)
     if engine is not None:
-        multiplier = engine.multiplier(bits=bits)
+        from repro.engine.core import EngineMultiplier
+
+        multiplier = EngineMultiplier(engine)
     else:
         multiplier = SSAMultiplier.for_bits(bits)
     pairs = [
         (rng.getrandbits(bits), rng.getrandbits(bits)) for _ in range(count)
     ]
     multiplier.multiply(*pairs[0])  # warm the plan cache
+    if engine is not None:
+        # Warm the backend too (software-mp: process spawn + per-worker
+        # engine builds stay out of the timed region).  Two items cross
+        # the sharding threshold.
+        multiplier.multiply_many(pairs[:2])
 
     start = time.perf_counter()
     looped = [multiplier.multiply(a, b) for a, b in pairs]

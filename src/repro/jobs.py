@@ -18,6 +18,16 @@ from repro.engine.jobs import (
     RLWEMultiplyPlainJob,
     as_completed,
 )
+from repro.engine.resilience import (
+    NO_RETRY,
+    Deadline,
+    FaultReport,
+    JobTimeoutError,
+    RetryPolicy,
+    RuntimeFaultError,
+    ShardVerificationError,
+    WorkerCrashError,
+)
 
 __all__ = [
     "JobScheduler",
@@ -29,4 +39,12 @@ __all__ = [
     "DGHVMultJob",
     "RLWEMultiplyPlainJob",
     "as_completed",
+    "RetryPolicy",
+    "NO_RETRY",
+    "Deadline",
+    "FaultReport",
+    "RuntimeFaultError",
+    "WorkerCrashError",
+    "JobTimeoutError",
+    "ShardVerificationError",
 ]

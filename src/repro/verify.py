@@ -26,7 +26,12 @@ before trusting any number the library prints:
     the natural spectra under the digit-reversal permutation, and
     cyclic/fused-negacyclic convolutions through the DIT inverse are
     bit-identical to the natural-order ``loop`` oracle, including
-    through the hw-model ring.
+    through the hw-model ring;
+13. the fault-tolerant runtime: a ``software-mp`` batch with one
+    worker SIGKILLed mid-shard recovers automatically — the respawned
+    pool replays the lost shards, the recovered products are
+    bit-identical to the ``software`` backend, and the respawn is
+    recorded in the backend's fault report.
 """
 
 from __future__ import annotations
@@ -372,6 +377,34 @@ def _check_ordering() -> CheckResult:
     )
 
 
+def _check_runtime_faults() -> CheckResult:
+    from repro.engine import Engine, ExecutionConfig, faultinject
+
+    rng = random.Random(13)
+    pairs = [
+        (rng.getrandbits(768), rng.getrandbits(768)) for _ in range(6)
+    ]
+    truth = [a * b for a, b in pairs]
+    left = [a for a, _ in pairs]
+    right = [b for _, b in pairs]
+    software = Engine()
+    mp_engine = Engine(
+        config=ExecutionConfig(workers=2), backend="software-mp"
+    )
+    try:
+        with faultinject.inject("worker-kill:0"):
+            recovered = mp_engine.multiply(left, right)
+        identical = recovered == software.multiply(left, right) == truth
+        respawned = mp_engine.backend.fault_report.respawns >= 1
+    finally:
+        mp_engine.close()
+    return CheckResult(
+        "worker kill mid-batch recovers bit-identically",
+        identical and respawned,
+        "" if respawned else "no respawn recorded",
+    )
+
+
 CHECKS: List[Callable[[], CheckResult]] = [
     _check_field,
     _check_vector,
@@ -385,6 +418,7 @@ CHECKS: List[Callable[[], CheckResult]] = [
     _check_jobs_mp,
     _check_negacyclic_fused,
     _check_ordering,
+    _check_runtime_faults,
 ]
 
 

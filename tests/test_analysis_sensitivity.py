@@ -64,7 +64,7 @@ class TestSelfCheck:
         ok, results = run_self_check()
         failing = [r.name for r in results if not r.ok]
         assert ok, f"self-check failures: {failing}"
-        assert len(results) == 12
+        assert len(results) == 13
 
     def test_render(self):
         _, results = run_self_check()
