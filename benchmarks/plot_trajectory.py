@@ -58,6 +58,11 @@ def _headline_resilience(report: dict) -> Tuple[str, float]:
     return "injected-kill products/s", best
 
 
+def _headline_service(report: dict) -> Tuple[str, float]:
+    best = max(r["coalesced_jobs_per_s"] for r in report["results"])
+    return "best coalesced jobs/s", best
+
+
 def _headline_generic(report: dict) -> Tuple[str, float]:
     """Fallback: first positive float leaf under ``results``."""
 
@@ -82,6 +87,7 @@ HEADLINES: Dict[str, Callable[[dict], Tuple[str, float]]] = {
     "ssa_multiply": _headline_ssa_multiply,
     "fhe_workload": _headline_fhe_workload,
     "resilience": _headline_resilience,
+    "service": _headline_service,
 }
 
 

@@ -190,6 +190,92 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
     print(schedule_batch(args.count).render())
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.engine import ExecutionConfig
+    from repro.serve import ServiceConfig, run_server
+
+    backend = args.backend or "software"
+    overrides = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+        if backend == "software":
+            backend = "software-mp"
+    try:
+        config = ServiceConfig(
+            # A lone --max-queue below the per-tenant default just
+            # tightens both bounds.
+            max_queue_per_tenant=min(
+                args.max_queue_per_tenant, args.max_queue
+            ),
+            max_queue_global=args.max_queue,
+            job_timeout_s=args.job_timeout,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+
+    def on_ready(server) -> None:
+        print(
+            f"repro service listening on {server.host}:{server.port} "
+            f"(backend {backend})",
+            flush=True,
+        )
+
+    run_server(
+        ExecutionConfig(**overrides),
+        backend=backend,
+        host=args.host,
+        port=args.port,
+        config=config,
+        max_requests=args.max_requests,
+        on_ready=on_ready,
+    )
+    print("service stopped")
+
+
+def _cmd_client(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.serve import TCPServiceClient, render_stats
+
+    with TCPServiceClient(
+        args.host, args.port, tenant=getattr(args, "tenant", "default")
+    ) as client:
+        if args.client_command == "stats":
+            snapshot = client.stats()
+            if args.json:
+                print(json.dumps(snapshot, indent=2, sort_keys=True))
+            else:
+                print(render_stats(snapshot))
+            return
+        # submit
+        raw = args.payload
+        if raw == "-":
+            raw = sys.stdin.read()
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"error: payload is not JSON: {error}") from None
+        response = client.request(
+            args.op,
+            payload,
+            priority=args.priority,
+            timeout=args.timeout,
+        )
+        body = {
+            "status": response.status,
+            "coalesced": response.coalesced,
+            "latency_s": response.latency_s,
+        }
+        if response.ok:
+            body["result"] = response.result
+        else:
+            body["error"] = response.error
+            body["error_type"] = response.error_type
+        print(json.dumps(body))
+        if not response.ok:
+            raise SystemExit(1)
+
+
 def _cmd_verify(args: argparse.Namespace) -> None:
     from repro.verify import run_self_check
 
@@ -300,6 +386,103 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     pt.set_defaults(func=_cmd_throughput)
+
+    pserve = sub.add_parser(
+        "serve", help="run the multi-tenant TCP compute service"
+    )
+    pserve.add_argument("--host", default="127.0.0.1")
+    pserve.add_argument(
+        "--port",
+        type=int,
+        default=7100,
+        help="TCP port (0 binds an ephemeral port)",
+    )
+    pserve.add_argument(
+        "--backend",
+        choices=["software", "software-mp", "hw-model"],
+        default=None,
+        help="compute backend behind the service (default: software)",
+    )
+    pserve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for software-mp; setting it without "
+            "--backend selects software-mp"
+        ),
+    )
+    pserve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="global queued-request bound (overload is REJECTED)",
+    )
+    pserve.add_argument(
+        "--max-queue-per-tenant",
+        type=int,
+        default=64,
+        help="per-tenant queued-request bound",
+    )
+    pserve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="deadline (s) for each batched engine job",
+    )
+    pserve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="exit after answering this many submits (CI smoke)",
+    )
+    pserve.set_defaults(func=_cmd_serve)
+
+    pclient = sub.add_parser(
+        "client", help="talk to a running repro service"
+    )
+    csub = pclient.add_subparsers(dest="client_command", required=True)
+    csubmit = csub.add_parser(
+        "submit", help="submit one job and print its JSON response"
+    )
+    csubmit.add_argument("--host", default="127.0.0.1")
+    csubmit.add_argument("--port", type=int, default=7100)
+    csubmit.add_argument("--tenant", default="default")
+    csubmit.add_argument("--priority", type=int, default=0)
+    csubmit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="request deadline in seconds",
+    )
+    csubmit.add_argument(
+        "--op",
+        required=True,
+        choices=[
+            "multiply",
+            "ring-transform",
+            "convolve",
+            "dghv-mult",
+            "rlwe-multiply-plain",
+        ],
+    )
+    csubmit.add_argument(
+        "--payload",
+        required=True,
+        help="JSON payload for the op ('-' reads stdin)",
+    )
+    csubmit.set_defaults(func=_cmd_client)
+    cstats = csub.add_parser(
+        "stats", help="print the service metrics snapshot"
+    )
+    cstats.add_argument("--host", default="127.0.0.1")
+    cstats.add_argument("--port", type=int, default=7100)
+    cstats.add_argument(
+        "--json",
+        action="store_true",
+        help="raw JSON instead of the rendered table",
+    )
+    cstats.set_defaults(func=_cmd_client)
 
     pv = sub.add_parser("verify", help="run the end-to-end self-check")
     pv.set_defaults(func=_cmd_verify)

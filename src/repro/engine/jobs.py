@@ -37,6 +37,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import as_completed as _futures_as_completed
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -431,6 +432,42 @@ class JobScheduler:
             self.dead_letters.extend(cancelled)
         self.shutdown(wait=wait)
         return cancelled
+
+    def drain(self, timeout: Optional[float] = None) -> List[JobHandle]:
+        """Block until every submitted job reaches a terminal state.
+
+        Unlike :meth:`shutdown`, draining does **not** stop the
+        scheduler: it simply waits (from any thread) for the work
+        already queued — including jobs submitted by *other* threads —
+        to finish, then returns the current :attr:`dead_letters` so the
+        caller can observe what failed for good.  Jobs submitted while
+        the drain is in progress are waited on too.
+
+        Raises :class:`~repro.engine.resilience.JobTimeoutError` if the
+        queue has not emptied after ``timeout`` seconds; the scheduler
+        and its queue are left untouched in that case.
+        """
+        deadline = Deadline.after(timeout) if timeout is not None else None
+        while True:
+            with self._lock:
+                futures = [handle._future for handle in self._pending]
+            if not futures:
+                with self._lock:
+                    return list(self.dead_letters)
+            remaining = None
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    raise JobTimeoutError(
+                        f"queue failed to drain within {timeout}s "
+                        f"({len(futures)} job(s) still pending)"
+                    )
+            _, not_done = futures_wait(futures, timeout=remaining)
+            if not_done:
+                raise JobTimeoutError(
+                    f"queue failed to drain within {timeout}s "
+                    f"({len(not_done)} job(s) still pending)"
+                )
 
     # -- submission --------------------------------------------------------
 

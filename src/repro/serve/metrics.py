@@ -1,0 +1,280 @@
+"""Per-tenant service metrics: counters, latency quantiles, batch fill.
+
+The registry is the service's observability story (exported via the
+``stats`` RPC and ``repro client stats``):
+
+- **per-tenant counters** — submitted / accepted / rejected /
+  completed / failed / timed-out / dead-lettered requests, item totals,
+  and the current queue depth;
+- **latency quantiles** — p50/p95/p99 over a bounded reservoir of the
+  most recent completions (bounded memory by construction: an abusive
+  tenant cannot grow its metrics footprint past the window);
+- **throughput** — completed jobs/s over the registry's lifetime;
+- **batch fill** — how well coalescing is working: mean requests and
+  items per batched engine pass, and the fill ratio against the
+  configured per-batch item budget.
+
+Everything is guarded by one lock; updates are counter bumps and ring
+writes, far off the compute path's critical section.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: Latencies kept per tenant for the quantile estimates.
+RESERVOIR_SIZE = 2048
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class LatencyWindow:
+    """A bounded ring of recent latency observations (seconds)."""
+
+    def __init__(self, size: int = RESERVOIR_SIZE):
+        self._size = size
+        self._ring: List[float] = []
+        self._next = 0
+        self.observed = 0
+
+    def observe(self, seconds: float) -> None:
+        if len(self._ring) < self._size:
+            self._ring.append(seconds)
+        else:
+            self._ring[self._next] = seconds
+            self._next = (self._next + 1) % self._size
+        self.observed += 1
+
+    def snapshot(self) -> dict:
+        values = sorted(self._ring)
+        return {
+            "observed": self.observed,
+            "p50_ms": percentile(values, 0.50) * 1e3,
+            "p95_ms": percentile(values, 0.95) * 1e3,
+            "p99_ms": percentile(values, 0.99) * 1e3,
+            "max_ms": (values[-1] * 1e3) if values else 0.0,
+        }
+
+
+class TenantMetrics:
+    """One tenant's counters and latency window (registry-locked)."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.timed_out = 0
+        self.dead_lettered = 0
+        self.items_submitted = 0
+        self.items_completed = 0
+        self.queue_depth = 0
+        self.latency = LatencyWindow()
+        self.queue_wait = LatencyWindow()
+
+    def snapshot(self, uptime_s: float) -> dict:
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "timed_out": self.timed_out,
+            "dead_lettered": self.dead_lettered,
+            "items_submitted": self.items_submitted,
+            "items_completed": self.items_completed,
+            "queue_depth": self.queue_depth,
+            "jobs_per_s": (
+                self.completed / uptime_s if uptime_s > 0 else 0.0
+            ),
+            "latency": self.latency.snapshot(),
+            "queue_wait": self.queue_wait.snapshot(),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe service metrics, per tenant plus batching globals."""
+
+    def __init__(self, batch_item_budget: Optional[int] = None):
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, TenantMetrics] = {}
+        self._started = time.monotonic()
+        #: Coalescing accounting: engine passes and what filled them.
+        self.batches = 0
+        self.batched_requests = 0
+        self.batched_items = 0
+        self.batch_item_budget = batch_item_budget
+
+    def _tenant(self, tenant: str) -> TenantMetrics:
+        metrics = self._tenants.get(tenant)
+        if metrics is None:
+            metrics = self._tenants[tenant] = TenantMetrics()
+        return metrics
+
+    # -- event hooks (called by the scheduler/service) ---------------------
+
+    def on_submitted(self, tenant: str, items: int) -> None:
+        with self._lock:
+            t = self._tenant(tenant)
+            t.submitted += 1
+            t.items_submitted += items
+
+    def on_accepted(self, tenant: str) -> None:
+        with self._lock:
+            t = self._tenant(tenant)
+            t.accepted += 1
+            t.queue_depth += 1
+
+    def on_rejected(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).rejected += 1
+
+    def on_dequeued(self, tenant: str, queue_wait_s: float) -> None:
+        with self._lock:
+            t = self._tenant(tenant)
+            t.queue_depth = max(0, t.queue_depth - 1)
+            t.queue_wait.observe(queue_wait_s)
+
+    def on_batch(self, requests: int, items: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += requests
+            self.batched_items += items
+
+    def on_completed(
+        self, tenant: str, items: int, latency_s: float
+    ) -> None:
+        with self._lock:
+            t = self._tenant(tenant)
+            t.completed += 1
+            t.items_completed += items
+            t.latency.observe(latency_s)
+
+    def on_failed(
+        self,
+        tenant: str,
+        latency_s: float,
+        *,
+        timed_out: bool = False,
+        dead_lettered: bool = False,
+    ) -> None:
+        with self._lock:
+            t = self._tenant(tenant)
+            if timed_out:
+                t.timed_out += 1
+            else:
+                t.failed += 1
+            if dead_lettered:
+                t.dead_lettered += 1
+            t.latency.observe(latency_s)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            uptime = max(time.monotonic() - self._started, 1e-9)
+            tenants = {
+                name: metrics.snapshot(uptime)
+                for name, metrics in sorted(self._tenants.items())
+            }
+            totals = {
+                key: sum(t[key] for t in tenants.values())
+                for key in (
+                    "submitted",
+                    "accepted",
+                    "rejected",
+                    "completed",
+                    "failed",
+                    "timed_out",
+                    "dead_lettered",
+                    "items_completed",
+                    "queue_depth",
+                )
+            }
+            totals["jobs_per_s"] = (
+                totals["completed"] / uptime if uptime > 0 else 0.0
+            )
+            coalescing = {
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "batched_items": self.batched_items,
+                "requests_per_batch": (
+                    self.batched_requests / self.batches
+                    if self.batches
+                    else 0.0
+                ),
+                "items_per_batch": (
+                    self.batched_items / self.batches
+                    if self.batches
+                    else 0.0
+                ),
+            }
+            if self.batch_item_budget:
+                coalescing["fill_ratio"] = (
+                    self.batched_items
+                    / (self.batches * self.batch_item_budget)
+                    if self.batches
+                    else 0.0
+                )
+            return {
+                "uptime_s": uptime,
+                "totals": totals,
+                "coalescing": coalescing,
+                "tenants": tenants,
+            }
+
+
+def render_stats(snapshot: dict) -> str:
+    """Human-readable table of a :meth:`MetricsRegistry.snapshot`."""
+    totals = snapshot["totals"]
+    coalescing = snapshot["coalescing"]
+    lines = [
+        "service stats "
+        f"(uptime {snapshot['uptime_s']:.1f}s, "
+        f"{totals['completed']} completed, "
+        f"{totals['rejected']} rejected, "
+        f"{totals['jobs_per_s']:.1f} jobs/s)",
+        f"  coalescing: {coalescing['batches']} engine passes, "
+        f"{coalescing['requests_per_batch']:.2f} requests/batch, "
+        f"{coalescing['items_per_batch']:.2f} items/batch"
+        + (
+            f", fill {coalescing['fill_ratio']:.0%}"
+            if "fill_ratio" in coalescing
+            else ""
+        ),
+        f"  {'tenant':>12} {'done':>6} {'rej':>5} {'fail':>5} "
+        f"{'depth':>6} {'jobs/s':>8} {'p50 ms':>8} {'p95 ms':>8} "
+        f"{'p99 ms':>8}",
+    ]
+    for name, tenant in snapshot["tenants"].items():
+        latency = tenant["latency"]
+        lines.append(
+            f"  {name:>12} {tenant['completed']:>6} "
+            f"{tenant['rejected']:>5} "
+            f"{tenant['failed'] + tenant['timed_out']:>5} "
+            f"{tenant['queue_depth']:>6} {tenant['jobs_per_s']:>8.1f} "
+            f"{latency['p50_ms']:>8.1f} {latency['p95_ms']:>8.1f} "
+            f"{latency['p99_ms']:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "RESERVOIR_SIZE",
+    "percentile",
+    "LatencyWindow",
+    "TenantMetrics",
+    "MetricsRegistry",
+    "render_stats",
+]

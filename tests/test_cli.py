@@ -1,5 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -52,3 +59,109 @@ class TestParser:
         main(["batch", "--count", "5"])
         out = capsys.readouterr().out
         assert "batch of 5" in out
+
+
+class TestServeClientCLI:
+    def test_client_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client"])
+
+    def test_client_submit_requires_op_and_payload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client", "submit"])
+
+    def test_serve_rejects_bad_queue_bounds(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--max-queue", "0", "--max-requests", "1"])
+
+    def test_serve_and_client_roundtrip(self, capsys):
+        """End-to-end smoke: `repro serve` + `repro client submit|stats`.
+
+        The server runs as a subprocess on an ephemeral port with
+        ``--max-requests 2`` so it exits by itself after the second
+        submit; the client commands run in-process via ``main``.
+        """
+        src = Path(__file__).parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--max-requests",
+                "2",
+                "--max-queue",
+                "16",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = server.stdout.readline()
+            match = re.search(r"listening on [\d.]+:(\d+)", banner)
+            assert match, f"no listening banner: {banner!r}"
+            port = match.group(1)
+
+            assert (
+                main(
+                    [
+                        "client",
+                        "submit",
+                        "--port",
+                        port,
+                        "--op",
+                        "multiply",
+                        "--payload",
+                        '{"pairs": [[6, 7], [11, 13]]}',
+                    ]
+                )
+                == 0
+            )
+            body = json.loads(capsys.readouterr().out)
+            assert body["status"] == "ok"
+            assert body["result"] == [42, 143]
+
+            assert main(["client", "stats", "--port", port]) == 0
+            stats_out = capsys.readouterr().out
+            assert "service stats" in stats_out
+            assert "coalescing" in stats_out
+
+            # Second submit trips --max-requests: the server drains
+            # and exits on its own.
+            assert (
+                main(
+                    [
+                        "client",
+                        "submit",
+                        "--port",
+                        port,
+                        "--op",
+                        "convolve",
+                        "--payload",
+                        json.dumps(
+                            {
+                                "n": 8,
+                                "a": [1, 0, 0, 0, 0, 0, 0, 0],
+                                "b": [0, 2, 0, 0, 0, 0, 0, 0],
+                                "negacyclic": True,
+                            }
+                        ),
+                    ]
+                )
+                == 0
+            )
+            body = json.loads(capsys.readouterr().out)
+            assert body["result"] == [0, 2, 0, 0, 0, 0, 0, 0]
+            assert server.wait(timeout=60) == 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=30)
