@@ -63,6 +63,14 @@ def _headline_service(report: dict) -> Tuple[str, float]:
     return "best coalesced jobs/s", best
 
 
+def _headline_arch_dse(report: dict) -> Tuple[str, float]:
+    results = report["results"]
+    paper = results["paper"]["total_cycles"]
+    best = min(m["total_cycles"] for m in results["frontier"])
+    saved = 100.0 * max(0, paper - best) / paper
+    return "best frontier cycles saved vs paper (%)", saved
+
+
 def _headline_generic(report: dict) -> Tuple[str, float]:
     """Fallback: first positive float leaf under ``results``."""
 
@@ -88,6 +96,7 @@ HEADLINES: Dict[str, Callable[[dict], Tuple[str, float]]] = {
     "fhe_workload": _headline_fhe_workload,
     "resilience": _headline_resilience,
     "service": _headline_service,
+    "arch_dse": _headline_arch_dse,
 }
 
 

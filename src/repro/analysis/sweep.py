@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.arch.spec import ArchSpec
 from repro.hw.timing import AcceleratorTiming
 from repro.ntt.plan import plan_for_size
 
@@ -34,11 +35,20 @@ def pe_scaling_sweep(
     pe_counts: Sequence[int] = (1, 2, 4, 8, 16),
     clock_ns: float = 5.0,
 ) -> List[ScalingPoint]:
-    """T_FFT and T_MULT for each PE count, with parallel efficiency."""
+    """T_FFT and T_MULT for each PE count, with parallel efficiency.
+
+    Each point is an :class:`~repro.arch.spec.ArchSpec` — the paper
+    configuration with the PE count and clock replaced — priced through
+    the closed-form model (identical numbers to the pre-`ArchSpec`
+    scalar sweep).
+    """
     points = []
     base: Optional[float] = None
     for pes in pe_counts:
-        timing = AcceleratorTiming(pes=pes, clock_ns=clock_ns)
+        spec = ArchSpec.paper_default().with_overrides(
+            pes=pes, clock_ns=clock_ns, name=f"hypercube-p{pes}"
+        )
+        timing = AcceleratorTiming.for_arch(spec)
         fft = timing.fft_time_us()
         if base is None:
             base = fft
@@ -67,10 +77,13 @@ def radix_plan_sweep(
     clock_ns: float = 5.0,
 ) -> Dict[Tuple[int, ...], float]:
     """FFT latency of alternative radix factorizations of ``n``."""
+    spec = ArchSpec.paper_default().with_overrides(
+        pes=pes, clock_ns=clock_ns, name=f"hypercube-p{pes}"
+    )
     out: Dict[Tuple[int, ...], float] = {}
     for radices in plans:
         plan = plan_for_size(n, radices)
-        timing = AcceleratorTiming(pes=pes, clock_ns=clock_ns, plan=plan)
+        timing = AcceleratorTiming.for_arch(spec, plan=plan)
         out[tuple(radices)] = timing.fft_time_us()
     return out
 

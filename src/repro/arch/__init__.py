@@ -1,0 +1,55 @@
+"""Declarative architecture descriptions + design-space exploration.
+
+``repro.arch`` turns the hardware model from "reproduce the paper's
+design point" into a searchable space:
+
+- :mod:`repro.arch.spec` — :class:`ArchSpec`, a frozen, validated,
+  JSON-round-trippable description of one accelerator configuration
+  (PE nodes with FFT-64 units, bank counts and port widths, exchange
+  topology edges with per-hop delay tables, clock, dot-product and
+  carry provisioning) that :class:`repro.hw.accelerator.HEAccelerator`,
+  :class:`repro.hw.timing.AcceleratorTiming` and the engine's
+  :class:`~repro.engine.config.ExecutionConfig` all consume;
+- :mod:`repro.arch.explore` — the design-space explorer: enumerate a
+  :class:`DesignSpace`, price every candidate through the cycle model
+  on the paper 64K workload plus an RLWE workload, and prune to the
+  Pareto frontier of time versus area proxy.
+"""
+
+from repro.arch.spec import (
+    ArchSpec,
+    ExchangeSpec,
+    PESpec,
+    DSP_ALM_EQUIV,
+    M20K_ALM_EQUIV,
+    TOPOLOGIES,
+)
+from repro.arch.explore import (
+    CandidateMetrics,
+    DesignPoint,
+    DesignSpace,
+    ExplorationResult,
+    enumerate_candidates,
+    evaluate_candidate,
+    explore,
+    pareto_frontier,
+    plot_frontier,
+)
+
+__all__ = [
+    "ArchSpec",
+    "ExchangeSpec",
+    "PESpec",
+    "DSP_ALM_EQUIV",
+    "M20K_ALM_EQUIV",
+    "TOPOLOGIES",
+    "CandidateMetrics",
+    "DesignPoint",
+    "DesignSpace",
+    "ExplorationResult",
+    "enumerate_candidates",
+    "evaluate_candidate",
+    "explore",
+    "pareto_frontier",
+    "plot_frontier",
+]

@@ -276,6 +276,58 @@ def _cmd_client(args: argparse.Namespace) -> None:
             raise SystemExit(1)
 
 
+def _cmd_arch_show(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.arch import ArchSpec
+
+    if args.spec is not None:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = ArchSpec.from_json(handle.read())
+    else:
+        spec = ArchSpec.paper_default()
+        overrides = {}
+        if args.pes is not None:
+            overrides["pes"] = args.pes
+        if args.topology is not None:
+            overrides["topology"] = args.topology
+        if overrides:
+            topology = args.topology or spec.exchange.topology
+            pes = args.pes or spec.pes
+            overrides["name"] = f"{topology}-p{pes}"
+            spec = spec.with_overrides(**overrides)
+    if args.json:
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return
+    print(spec.render())
+    from repro.hw.timing import AcceleratorTiming
+
+    timing = AcceleratorTiming.for_arch(spec)
+    print(
+        f"  closed-form timing: T_FFT {timing.fft_time_us():.2f} us, "
+        f"T_MULT {timing.multiplication_time_us():.2f} us"
+    )
+
+
+def _cmd_arch_sweep(args: argparse.Namespace) -> None:
+    from repro.arch import DesignSpace, explore, plot_frontier
+
+    space = DesignSpace(max_candidates=args.max_candidates)
+    result = explore(space=space, use_jobs=not args.no_jobs)
+    print(result.render(limit=args.limit))
+    if args.pareto is not None:
+        with open(args.pareto, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+            handle.write("\n")
+        print(f"frontier written to {args.pareto}")
+    if args.plot is not None:
+        written = plot_frontier(result, args.plot)
+        if written is None:
+            print("plot skipped (matplotlib unavailable)")
+        else:
+            print(f"frontier plot written to {written}")
+
+
 def _cmd_verify(args: argparse.Namespace) -> None:
     from repro.verify import run_self_check
 
@@ -483,6 +535,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="raw JSON instead of the rendered table",
     )
     cstats.set_defaults(func=_cmd_client)
+
+    parch = sub.add_parser(
+        "arch", help="architecture specs and design-space exploration"
+    )
+    asub = parch.add_subparsers(dest="arch_command", required=True)
+    ashow = asub.add_parser(
+        "show", help="render a spec and its derived quantities"
+    )
+    ashow.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        help="JSON spec file (default: the paper configuration)",
+    )
+    ashow.add_argument(
+        "--pes",
+        type=int,
+        default=None,
+        help="override the PE count of the default spec",
+    )
+    ashow.add_argument(
+        "--topology",
+        choices=["hypercube", "ring", "all-to-all"],
+        default=None,
+        help="override the exchange topology of the default spec",
+    )
+    ashow.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the spec as JSON instead of the rendered summary",
+    )
+    ashow.set_defaults(func=_cmd_arch_show)
+    asweep = asub.add_parser(
+        "sweep", help="explore the design space and print the frontier"
+    )
+    asweep.add_argument(
+        "--pareto",
+        type=str,
+        default=None,
+        metavar="OUT.JSON",
+        help="write the full exploration result as JSON",
+    )
+    asweep.add_argument(
+        "--plot",
+        type=str,
+        default=None,
+        metavar="OUT.PNG",
+        help="write a cycles-vs-area frontier plot (best-effort)",
+    )
+    asweep.add_argument(
+        "--max-candidates",
+        type=int,
+        default=512,
+        help="deterministic stride-sampling cap on the enumeration",
+    )
+    asweep.add_argument(
+        "--limit",
+        type=int,
+        default=12,
+        help="frontier rows to print",
+    )
+    asweep.add_argument(
+        "--no-jobs",
+        action="store_true",
+        help="evaluate inline instead of through the job scheduler",
+    )
+    asweep.set_defaults(func=_cmd_arch_sweep)
 
     pv = sub.add_parser("verify", help="run the end-to-end self-check")
     pv.set_defaults(func=_cmd_verify)

@@ -804,8 +804,9 @@ class HardwareModelBackend:
 
         ``plan`` defaults to the paper's 64K plan (built in the
         engine's cache) and ``params`` to the matching SSA sizing.  The
-        PE count is the engine's configured ``pes``, shrunk to the
-        largest power of two the plan's smallest stage can still be
+        architecture is the engine's resolved
+        :class:`~repro.arch.spec.ArchSpec`, with the PE count shrunk to
+        the largest power of two the plan's smallest stage can still be
         partitioned over.
         """
         from repro.hw.accelerator import HEAccelerator
@@ -817,15 +818,19 @@ class HardwareModelBackend:
             plan = engine.plan(params.transform_size)
         elif params is None:
             params = engine._params_for_plan(plan)
-        pes = self._compatible_pes(engine.config.pes, plan)
-        key = (id(plan), params, pes, engine.config.clock_ns)
+        arch = engine.config.resolved_arch()
+        pes = self._compatible_pes(arch.pes, plan)
+        if pes != arch.pes:
+            arch = arch.with_overrides(
+                pes=pes, name=f"{arch.name}-shrunk-p{pes}"
+            )
+        key = (id(plan), params, arch)
         accelerator = self._accelerators.get(key)
         if accelerator is None:
             accelerator = HEAccelerator(
-                pes=pes,
                 plan=plan,
                 params=params,
-                clock_ns=engine.config.clock_ns,
+                arch=arch,
             )
             # With cache="off" every plan() call yields a fresh object,
             # so an id-keyed pool would grow without bound — skip it.

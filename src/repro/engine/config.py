@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.arch.spec import ArchSpec
 from repro.ntt.kernels import (
     KERNEL_ENV_VAR,
     available_kernels,
@@ -56,6 +57,14 @@ class ExecutionConfig:
         uses, so plans are shared with it); ``"off"`` rebuilds plans on
         every request.  ``True`` / ``False`` are accepted as aliases
         for ``"private"`` / ``"off"``.
+    arch:
+        Full declarative architecture description
+        (:class:`repro.arch.spec.ArchSpec`) for the ``hw-model``
+        backend.  When given it is authoritative: ``pes`` and
+        ``clock_ns`` are overwritten from it so every reader of the
+        config sees one consistent configuration.  When ``None`` the
+        two scalars act as back-compat shorthands and a paper-shaped
+        spec is built from them.
     pes:
         Processing-element count for the ``hw-model`` backend (power of
         two).  Backends shrink this automatically for transforms too
@@ -100,6 +109,7 @@ class ExecutionConfig:
     kernel: Optional[str] = None
     batch_chunk: Optional[int] = None
     cache: object = CACHE_PRIVATE
+    arch: Optional[ArchSpec] = None
     pes: int = 4
     clock_ns: float = 5.0
     fidelity: str = "fast"
@@ -125,6 +135,11 @@ class ExecutionConfig:
         object.__setattr__(self, "cache", cache)
         if self.batch_chunk is not None and self.batch_chunk < 1:
             raise ValueError("batch_chunk must be a positive integer")
+        if self.arch is not None:
+            # The spec is authoritative: mirror its scalars so every
+            # reader of config.pes / config.clock_ns stays consistent.
+            object.__setattr__(self, "pes", self.arch.pes)
+            object.__setattr__(self, "clock_ns", self.arch.clock_ns)
         if self.pes < 1 or self.pes & (self.pes - 1):
             raise ValueError("pes must be a power of two")
         if self.fidelity not in ("fast", "datapath"):
@@ -152,6 +167,23 @@ class ExecutionConfig:
     def with_overrides(self, **overrides: object) -> "ExecutionConfig":
         """A copy with the given fields replaced (validation re-run)."""
         return replace(self, **overrides)  # type: ignore[arg-type]
+
+    def resolved_arch(self) -> ArchSpec:
+        """The effective architecture description.
+
+        The explicit ``arch`` when set; otherwise a paper-shaped spec
+        carrying the ``pes``/``clock_ns`` shorthands.
+        """
+        if self.arch is not None:
+            return self.arch
+        spec = ArchSpec.paper_default()
+        if self.pes != spec.pes or self.clock_ns != spec.clock_ns:
+            spec = spec.with_overrides(
+                pes=self.pes,
+                clock_ns=self.clock_ns,
+                name=f"hypercube-p{self.pes}",
+            )
+        return spec
 
 
 __all__ = [

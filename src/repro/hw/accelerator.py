@@ -30,18 +30,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.arch.spec import ArchSpec, TOPOLOGY_HYPERCUBE
 from repro.field.solinas import P as FIELD_P
 from repro.field.vector import vmul
 from repro.hw.banked_memory import ARRAY_POINTS
 from repro.hw.data_route import column_read_beats, reductor_write_beats
-from repro.hw.fft64_unit import FFT64Config, FFT64Unit
-from repro.hw.hypercube import HypercubeTopology, LINK_WORDS_PER_CYCLE
+from repro.hw.fft64_unit import FFT64Config
+from repro.hw.hypercube import HypercubeTopology
 from repro.hw.modmul import ModularMultiplier
 from repro.hw.pe import ProcessingElement
-from repro.hw.timing import (
-    CARRY_RECOVERY_WORDS_PER_CYCLE,
-    DOT_PRODUCT_MULTIPLIERS,
-)
 from repro.ntt.kernels import stage_executor
 from repro.ntt.negacyclic import twist_tables
 from repro.ntt.plan import (
@@ -81,6 +78,11 @@ class DistributedFFTReport:
     @property
     def compute_cycles(self) -> int:
         return sum(s.compute_cycles_per_pe for s in self.stages)
+
+    @property
+    def exchange_total_cycles(self) -> int:
+        """Total link-busy cycles across every exchange of the row."""
+        return sum(s.exchange_cycles for s in self.stages)
 
     @property
     def stall_cycles(self) -> int:
@@ -129,10 +131,16 @@ class DistributedFFTBatchReport:
     """Cycle accounting for a ``(batch, n)`` transform in one call.
 
     The accelerator has a single FFT engine, so rows stream through it
-    back to back: every row costs the identical :attr:`per_row`
-    schedule and the batch total is ``rows ×`` that row time (stalls a
-    row exposes internally stay exposed; cross-row overlap of the
-    trailing exchange is a modeling refinement left open).
+    back to back — but rows are data-independent, so an exchange stall
+    one row exposes (a redistribution longer than the compute stage it
+    hides behind) is filled with the *next* row's compute through the
+    PEs' double buffers.  The schedule is the classic two-resource
+    software pipeline: the first row pays its full serial latency, and
+    every following row completes one steady-state interval later — the
+    larger of the row's engine-busy time (compute bound) and its total
+    link-busy time (network bound).  A single row, or a row with no
+    exposed stalls (the paper design point), is bit-identical to the
+    pre-overlap model.
     """
 
     rows: int
@@ -147,16 +155,42 @@ class DistributedFFTBatchReport:
         return self.rows * self.per_row.compute_cycles
 
     @property
-    def stall_cycles(self) -> int:
+    def steady_interval_cycles(self) -> int:
+        """Row-to-row completion interval once the pipeline is full."""
         if self.per_row is None:
             return 0
-        return self.rows * self.per_row.stall_cycles
+        return max(
+            self.per_row.compute_cycles,
+            self.per_row.exchange_total_cycles,
+        )
+
+    @property
+    def serial_total_cycles(self) -> int:
+        """The no-overlap schedule (every row's stalls stay exposed)."""
+        if self.per_row is None:
+            return 0
+        return self.rows * self.per_row.total_cycles
+
+    @property
+    def hidden_stall_cycles(self) -> int:
+        """Stall cycles the cross-row overlap hides versus serial."""
+        return self.serial_total_cycles - self.total_cycles
+
+    @property
+    def stall_cycles(self) -> int:
+        """Stall cycles still exposed in the pipelined schedule."""
+        if self.per_row is None:
+            return 0
+        return self.total_cycles - self.compute_cycles
 
     @property
     def total_cycles(self) -> int:
         if self.per_row is None:
             return 0
-        return self.rows * self.per_row.total_cycles
+        return (
+            self.per_row.total_cycles
+            + (self.rows - 1) * self.steady_interval_cycles
+        )
 
     @property
     def time_us(self) -> float:
@@ -169,7 +203,9 @@ class DistributedFFTBatchReport:
             f"batched {self.per_row.plan_n}-point FFT x{self.rows} rows "
             f"on {self.per_row.pes} PE(s): {self.total_cycles} cycles = "
             f"{self.time_us:.2f} us "
-            f"({self.per_row.total_cycles} cycles/row)"
+            f"({self.per_row.total_cycles} cycles first row, "
+            f"{self.steady_interval_cycles}/row steady state, "
+            f"{self.hidden_stall_cycles} stall cycles hidden cross-row)"
         ]
         lines.extend(self.per_row.render().splitlines()[1:])
         return "\n".join(lines)
@@ -206,8 +242,91 @@ class MultiplyReport:
         return "\n".join(lines)
 
 
+def stage_ownership(
+    plan: TransformPlan, index: int, pes: int
+) -> np.ndarray:
+    """Owning PE of every flat data position during stage ``index``."""
+    length = plan.n
+    for radix in plan.radices[:index]:
+        length //= radix
+    radix = plan.radices[index]
+    tail = length // radix
+    flat = np.arange(plan.n, dtype=np.int64)
+    work = (flat // length) * tail + (flat % tail)
+    per_pe = (plan.n // radix) // pes
+    return work // per_pe
+
+
+def stage_costs(
+    arch: ArchSpec, plan: TransformPlan, index: int
+) -> Tuple[int, int, int, int]:
+    """Value-independent cycle costs of stage ``index`` under ``arch``.
+
+    Returns ``(compute_cycles_per_pe, exchange_words_per_link,
+    exchange_cycles, words_sent_per_pe)``; the exchange fields are zero
+    for the last stage (no redistribution follows it).
+    """
+    stage = plan.stages[index]
+    radix = plan.radices[index]
+    compute = arch.stage_compute_cycles(stage.sub_transforms, radix)
+    words = exchange_cycles = sent = 0
+    if index + 1 < len(plan.stages):
+        before = stage_ownership(plan, index, arch.pes)
+        after = stage_ownership(plan, index + 1, arch.pes)
+        moving = before != after
+        words, exchange_cycles = arch.exchange.route_cycles(
+            before[moving], after[moving], arch.pes
+        )
+        sent = int(np.count_nonzero(moving)) // arch.pes
+    return compute, words, exchange_cycles, sent
+
+
+def plan_schedule(arch: ArchSpec, plan: TransformPlan) -> DistributedFFTReport:
+    """The stage-by-stage cycle schedule of one transform under ``arch``.
+
+    The pure, value-free core of the cycle model: everything here is a
+    function of the architecture description and the transform plan, so
+    the design-space explorer prices candidates through the *same* code
+    the accelerator reports with — no parallel model to drift.
+    """
+    report = DistributedFFTReport(
+        pes=arch.pes, plan_n=plan.n, clock_ns=arch.clock_ns
+    )
+    stage_count = len(plan.stages)
+    for index in range(stage_count):
+        stage = plan.stages[index]
+        compute, words, exchange_cycles, _sent = stage_costs(
+            arch, plan, index
+        )
+        next_compute = 0
+        if index + 1 < stage_count:
+            next_compute = arch.stage_compute_cycles(
+                plan.stages[index + 1].sub_transforms,
+                plan.radices[index + 1],
+            )
+        report.stages.append(
+            StageTiming(
+                index=index,
+                radix=plan.radices[index],
+                sub_transforms=stage.sub_transforms,
+                compute_cycles_per_pe=compute,
+                exchange_words_per_link=words,
+                exchange_cycles=exchange_cycles,
+                overlapped=exchange_cycles <= next_compute,
+            )
+        )
+    return report
+
+
 class HEAccelerator:
-    """The multi-PE accelerator (paper operating point by default)."""
+    """The multi-PE accelerator (paper operating point by default).
+
+    The configuration lives in one declarative
+    :class:`~repro.arch.spec.ArchSpec`; the legacy ``pes``/``clock_ns``
+    scalars remain as shorthands that build a paper-shaped spec with
+    those two knobs replaced.  When ``arch`` is given it wins and the
+    scalars are ignored.
+    """
 
     def __init__(
         self,
@@ -216,20 +335,33 @@ class HEAccelerator:
         params: SSAParameters = PAPER_PARAMETERS,
         clock_ns: float = 5.0,
         config: Optional[FFT64Config] = None,
+        arch: Optional[ArchSpec] = None,
     ):
+        if arch is None:
+            arch = ArchSpec.paper_default()
+            if pes != arch.pes or clock_ns != arch.clock_ns:
+                arch = arch.with_overrides(
+                    pes=pes, clock_ns=clock_ns, name=f"hypercube-p{pes}"
+                )
+        self.arch = arch
+        pes = arch.pes
         self.plan = plan if plan is not None else paper_64k_plan()
         self.params = params
         if self.plan.n != params.transform_size:
             raise ValueError("plan size does not match SSA parameters")
-        self.clock_ns = clock_ns
-        self.topology = HypercubeTopology(pes)
+        self.clock_ns = arch.clock_ns
+        self.topology = (
+            HypercubeTopology(pes)
+            if arch.exchange.topology == TOPOLOGY_HYPERCUBE
+            else None
+        )
         partition = self.plan.n // pes
         self.pes = [
             ProcessingElement(i, partition, config) for i in range(pes)
         ]
         self.dot_product_multipliers = [
             ModularMultiplier(name=f"dotmul{i}")
-            for i in range(DOT_PRODUCT_MULTIPLIERS)
+            for i in range(arch.dot_product_multipliers)
         ]
         # Two ping-pong stage buffers, shared by every transform this
         # accelerator runs (the staged executor's allocation discipline):
@@ -281,44 +413,23 @@ class HEAccelerator:
 
     def _ownership(self, plan: TransformPlan, index: int) -> np.ndarray:
         """Owning PE of every flat data position during stage ``index``."""
-        length, radix, tail = self._stage_geometry(plan, index)
-        n = plan.n
-        flat = np.arange(n, dtype=np.int64)
-        work = (flat // length) * tail + (flat % tail)
-        per_pe = (n // radix) // self.pe_count
-        return work // per_pe
+        return stage_ownership(plan, index, self.pe_count)
 
     def _exchange_stats(
         self, before: np.ndarray, after: np.ndarray
     ) -> Tuple[int, int]:
-        """(max words per link, cycles) for one e-cube redistribution.
+        """(max words per link, cycles) for one redistribution.
 
-        Packets route dimension by dimension; the load of dimension
-        ``d`` at a node is the number of its current packets whose
-        remaining route flips bit ``d``.  Returns the worst link load
-        and the cycles to drain it at eight words per cycle.
+        Delegates to the spec's per-topology routing model; the paper
+        point is the e-cube walk (one dimension per exchange phase,
+        worst link drained at eight words per cycle).
         """
         if self.pe_count == 1:
             return 0, 0
         moving = before != after
-        src = before[moving]
-        dst = after[moving]
-        total_words = 0
-        total_cycles = 0
-        for dim in range(self.topology.dimension):
-            bit = 1 << dim
-            crosses = (src & bit) != (dst & bit)
-            if not crosses.any():
-                continue
-            # Node occupied just before hop ``dim``: dims < dim already
-            # corrected to destination bits.
-            low_mask = bit - 1
-            at_node = (src[crosses] & ~low_mask) | (dst[crosses] & low_mask)
-            loads = np.bincount(at_node, minlength=self.pe_count)
-            worst = int(loads.max())
-            total_words += worst
-            total_cycles += HypercubeTopology.transfer_cycles(worst)
-        return total_words, total_cycles
+        return self.arch.exchange.route_cycles(
+            before[moving], after[moving], self.pe_count
+        )
 
     # -- distributed transform -------------------------------------------
 
@@ -329,18 +440,7 @@ class HEAccelerator:
         exchange_cycles, words_sent_per_pe)``; the exchange fields are
         zero for the last stage (no redistribution follows it).
         """
-        stage = plan.stages[index]
-        radix = plan.radices[index]
-        compute = (
-            stage.sub_transforms // self.pe_count
-        ) * FFT64Unit.initiation_interval(radix)
-        words = exchange_cycles = sent = 0
-        if index + 1 < len(plan.stages):
-            before = self._ownership(plan, index)
-            after = self._ownership(plan, index + 1)
-            words, exchange_cycles = self._exchange_stats(before, after)
-            sent = int(np.count_nonzero(before != after)) // self.pe_count
-        return compute, words, exchange_cycles, sent
+        return stage_costs(self.arch, plan, index)
 
     def _timing_report(
         self, plan: TransformPlan, rows: int = 1
@@ -370,9 +470,10 @@ class HEAccelerator:
                     pe.swap_buffers()
             next_compute = 0
             if index + 1 < stage_count:
-                next_compute = (
-                    plan.stages[index + 1].sub_transforms // self.pe_count
-                ) * FFT64Unit.initiation_interval(plan.radices[index + 1])
+                next_compute = self.arch.stage_compute_cycles(
+                    plan.stages[index + 1].sub_transforms,
+                    plan.radices[index + 1],
+                )
             overlapped = exchange_cycles <= next_compute
             report.stages.append(
                 StageTiming(
@@ -405,6 +506,27 @@ class HEAccelerator:
                     )
             cycle_cursor += compute
         return report
+
+    def batch_schedule(
+        self, rows: int, inverse: bool = False
+    ) -> DistributedFFTBatchReport:
+        """Cycle schedule of ``rows`` transforms without moving data.
+
+        The pure pricing entry the design-space explorer uses: the same
+        pipelined cross-row schedule :meth:`distributed_ntt_batch`
+        reports, minus the value computation and PE ledger updates.
+        """
+        pair = self.plan.inverse_plan if inverse else self.plan
+        if pair is None:
+            raise ValueError("plan has no inverse companion")
+        if rows == 0:
+            return DistributedFFTBatchReport(
+                rows=0, per_row=None, clock_ns=self.clock_ns
+            )
+        per_row = plan_schedule(self.arch, self._timing_plan(pair))
+        return DistributedFFTBatchReport(
+            rows=rows, per_row=per_row, clock_ns=self.clock_ns
+        )
 
     def _timing_plan(self, pair: TransformPlan) -> TransformPlan:
         """The plan whose stage schedule prices ``pair``'s execution.
@@ -826,7 +948,7 @@ class HEAccelerator:
         digits = carry_recover(
             [int(x) for x in conv], self.params.coefficient_bits
         )
-        carry_cycles = -(-self.plan.n // CARRY_RECOVERY_WORDS_PER_CYCLE)
+        carry_cycles = self.arch.carry_recovery_cycles(self.plan.n)
         product = recompose(digits, self.params.coefficient_bits)
 
         report.phases.append(

@@ -18,9 +18,12 @@ dot-product provisioning) and the PE-scaling sweep of the benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.ntt.plan import TransformPlan, paper_64k_plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arch.spec import ArchSpec
 
 #: Output points per cycle of one FFT unit (eight shared reductors).
 POINTS_PER_CYCLE = 8
@@ -44,6 +47,24 @@ class AcceleratorTiming:
     plan: TransformPlan = field(default_factory=paper_64k_plan)
     dot_product_multipliers: int = DOT_PRODUCT_MULTIPLIERS
     carry_words_per_cycle: int = CARRY_RECOVERY_WORDS_PER_CYCLE
+    #: When set, FFT occupancy comes from the spec (FFT units per PE,
+    #: buffer port widths); the closed-form dot/carry formulas read the
+    #: matching scalar fields, which :meth:`for_arch` copies from it.
+    arch: Optional["ArchSpec"] = None
+
+    @classmethod
+    def for_arch(
+        cls, arch: "ArchSpec", plan: Optional[TransformPlan] = None
+    ) -> "AcceleratorTiming":
+        """The closed-form model of one declarative configuration."""
+        return cls(
+            pes=arch.pes,
+            clock_ns=arch.clock_ns,
+            plan=plan if plan is not None else paper_64k_plan(),
+            dot_product_multipliers=arch.dot_product_multipliers,
+            carry_words_per_cycle=arch.carry_words_per_cycle,
+            arch=arch,
+        )
 
     # -- FFT ---------------------------------------------------------------
 
@@ -51,10 +72,16 @@ class AcceleratorTiming:
         """Per stage: (radix, cycles per PE).
 
         A radix-R sub-transform occupies the unit for R/8 cycles; each
-        PE executes its 1/P share back-to-back.
+        PE executes its 1/P share back-to-back (divided over the FFT
+        units when an :class:`ArchSpec` provisions more than one).
         """
         out = []
         for radix, count in self.plan.sub_transform_counts():
+            if self.arch is not None:
+                out.append(
+                    (radix, self.arch.stage_compute_cycles(count, radix))
+                )
+                continue
             interval = max(1, radix // POINTS_PER_CYCLE)
             out.append((radix, (count // self.pes) * interval))
         return out

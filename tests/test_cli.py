@@ -61,6 +61,62 @@ class TestParser:
         assert "batch of 5" in out
 
 
+class TestArchCLI:
+    def test_arch_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["arch"])
+
+    def test_arch_show_paper_default(self, capsys):
+        assert main(["arch", "show"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-date16" in out
+        assert "hypercube" in out
+        assert "area proxy" in out
+        assert "T_FFT 30.72 us" in out
+
+    def test_arch_show_json_round_trips(self, capsys):
+        assert main(["arch", "show", "--json"]) == 0
+        from repro.arch import ArchSpec
+
+        spec = ArchSpec.from_json(capsys.readouterr().out)
+        assert spec == ArchSpec.paper_default()
+
+    def test_arch_show_spec_file(self, tmp_path, capsys):
+        from repro.arch import ArchSpec
+
+        spec = ArchSpec.paper_default().with_overrides(
+            pes=8, topology="ring", name="from-file"
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert main(["arch", "show", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "from-file" in out and "ring" in out
+
+    def test_arch_sweep_writes_pareto_json(self, tmp_path, capsys):
+        out_path = tmp_path / "pareto.json"
+        assert (
+            main(
+                [
+                    "arch",
+                    "sweep",
+                    "--max-candidates",
+                    "24",
+                    "--no-jobs",
+                    "--pareto",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "design-space exploration" in out
+        assert "paper point" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["frontier"]
+        assert payload["paper"]["total_cycles"] > 0
+
+
 class TestServeClientCLI:
     def test_client_requires_subcommand(self):
         with pytest.raises(SystemExit):
