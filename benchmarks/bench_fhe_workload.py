@@ -4,7 +4,7 @@ Standalone benchmark (also importable under pytest) timing layers of
 DGHV homomorphic AND gates — the workload the accelerator exists for —
 through the Engine façade:
 
-- **direct**: ``he_mult_many`` batching the γ×γ-bit ciphertext
+- **direct**: ``scheme.multiply_many`` batching the γ×γ-bit ciphertext
   products into one SSA pass;
 - **jobs**: the same layer through ``JobScheduler.map("dghv-mult",...)``
   (the futures-style service shape);
@@ -63,7 +63,6 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.engine import Engine  # noqa: E402
-from repro.fhe.ops import he_mult_many  # noqa: E402
 from repro.fhe.params import MEDIUM, SMALL_DGHV, TOY  # noqa: E402
 from repro.hw.timing import PAPER_TIMING  # noqa: E402
 
@@ -72,7 +71,7 @@ DEFAULT_RESILIENCE_JSON = REPO_ROOT / "BENCH_resilience.json"
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
 #: The jobs path reuses the same batched SSA pass; it must stay within
-#: a small constant factor of calling ``he_mult_many`` directly.
+#: a small constant factor of calling ``multiply_many`` directly.
 FULL_MAX_JOBS_OVERHEAD = 2.0
 SMOKE_MAX_JOBS_OVERHEAD = 5.0
 #: Fused negacyclic plans must beat the explicit-twist route by this
@@ -146,7 +145,7 @@ def run_case(
     truth = [a & b for a, b in plain]
 
     def direct():
-        return he_mult_many(scheme, pairs, x0=keys.x0)
+        return scheme.multiply_many(keys, pairs)
 
     def jobs():
         return engine.map("dghv-mult", pairs, x0=keys.x0)
@@ -292,7 +291,7 @@ def modeled_gate() -> dict:
     keys = scheme.generate_keys()
     ca = scheme.encrypt(keys, 1)
     cb = scheme.encrypt(keys, 1)
-    ands = he_mult_many(scheme, [(ca, cb)], x0=keys.x0)
+    ands = scheme.multiply_many(keys, [(ca, cb)])
     report = engine.last_report
     report = report[0] if isinstance(report, list) else report
     ok = scheme.decrypt(keys, ands[0]) == 1 and report.total_cycles > 0

@@ -63,6 +63,11 @@ def _headline_service(report: dict) -> Tuple[str, float]:
     return "best coalesced jobs/s", best
 
 
+def _headline_rlwe_pipeline(report: dict) -> Tuple[str, float]:
+    best = max(r["ct_products_per_s"] for r in report["multiply"])
+    return "best ct x ct products/s", best
+
+
 def _headline_arch_dse(report: dict) -> Tuple[str, float]:
     results = report["results"]
     paper = results["paper"]["total_cycles"]
@@ -96,6 +101,7 @@ HEADLINES: Dict[str, Callable[[dict], Tuple[str, float]]] = {
     "fhe_workload": _headline_fhe_workload,
     "resilience": _headline_resilience,
     "service": _headline_service,
+    "rlwe_pipeline": _headline_rlwe_pipeline,
     "arch_dse": _headline_arch_dse,
 }
 

@@ -23,16 +23,15 @@ import random
 
 from repro.engine import Engine
 from repro.fhe import TOY
-from repro.fhe.ops import he_add, he_mult
 from repro.hw.timing import PAPER_TIMING
 
 
 def majority(scheme, keys, ca, cb, cc):
     """Encrypted maj(a,b,c) = ab ^ ac ^ bc."""
-    ab = he_mult(scheme, ca, cb, x0=keys.x0)
-    ac = he_mult(scheme, ca, cc, x0=keys.x0)
-    bc = he_mult(scheme, cb, cc, x0=keys.x0)
-    return he_add(he_add(ab, ac, x0=keys.x0), bc, x0=keys.x0)
+    ab, ac, bc = scheme.multiply_many(
+        keys, [(ca, cb), (ca, cc), (cb, cc)]
+    )
+    return scheme.add(scheme.add(ab, ac), bc)
 
 
 def main() -> None:

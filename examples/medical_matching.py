@@ -19,7 +19,6 @@ import random
 
 from repro.engine import Engine
 from repro.fhe import TOY
-from repro.fhe.ops import he_add, he_mult
 from repro.hw.timing import PAPER_TIMING
 
 
@@ -53,11 +52,11 @@ def main() -> None:
     header = f"{'patient':>8} {'A&B':>5} {'flag!=ref':>10}"
     print(header)
     for index, record in enumerate(encrypted):
-        both = he_mult(
-            scheme, record["marker_a"], record["marker_b"], x0=keys.x0
+        both = scheme.multiply(
+            keys, record["marker_a"], record["marker_b"]
         )
         and_gates += 1
-        differs = he_add(record["risk_flag"], c_reference, x0=keys.x0)
+        differs = scheme.add(record["risk_flag"], c_reference)
 
         got_both = scheme.decrypt(keys, both)
         got_diff = scheme.decrypt(keys, differs)

@@ -516,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
             "convolve",
             "dghv-mult",
             "rlwe-multiply-plain",
+            "rlwe-multiply",
         ],
     )
     csubmit.add_argument(

@@ -318,7 +318,14 @@ class Engine:
           (kernel and cache included) — ψ-twist and untwist folded into
           the stage constants and the digit-reversal gathers skipped:
           RLWE spectra are internal to the scheme, so the
-          permutation-free pair is safe end to end.
+          permutation-free pair is safe end to end.  The scheme is also
+          bound to this engine's compute backend, so every ring product
+          (encryption masks, plaintext products, tensor/relinearization
+          passes) shards on ``software-mp`` and is cycle-counted on
+          ``hw-model``.
+
+        Both return types implement the
+        :class:`repro.fhe.ops.HEScheme` protocol.
         """
         from repro.fhe.dghv import DGHV
         from repro.fhe.params import FHEParams, TOY
@@ -336,6 +343,7 @@ class Engine:
                     twist=TWIST_NEGACYCLIC,
                     ordering=ORDER_DECIMATED,
                 ),
+                engine=self,
             )
         if isinstance(params, FHEParams):
             return DGHV(

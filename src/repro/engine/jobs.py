@@ -162,9 +162,9 @@ class DGHVMultJob:
     kind = "dghv-mult"
 
     def run(self, engine) -> List[Any]:
-        from repro.fhe.ops import he_mult_many
+        from repro.fhe.ops import _he_mult_many
 
-        return he_mult_many(
+        return _he_mult_many(
             _MultiplierStrategy(engine), self.pairs, x0=self.x0
         )
 
@@ -191,12 +191,36 @@ class RLWEMultiplyPlainJob:
         )
 
 
+@dataclass(frozen=True, eq=False)
+class RLWEMultiplyJob:
+    """Batched RLWE ciphertext-by-ciphertext products.
+
+    One tensor pass + one relinearization pass over the whole batch,
+    bit-identical to :meth:`repro.fhe.rlwe.RLWE.multiply_many` on a
+    scheme bound to the engine (every ring product rides the engine's
+    batch axis — sharded on ``software-mp``, cycle-counted on
+    ``hw-model``).  ``relin`` is the evaluator-side
+    :class:`repro.fhe.rlwe.RelinKeys`; the secret never enters the job.
+    """
+
+    params: Any  # repro.fhe.rlwe.RLWEParams
+    relin: Any  # repro.fhe.rlwe.RelinKeys
+    pairs: Tuple[Tuple[Any, Any], ...]  # (RLWECiphertext, RLWECiphertext)
+
+    kind = "rlwe-multiply"
+
+    def run(self, engine) -> List[Any]:
+        scheme = engine.fhe(self.params)
+        return scheme.multiply_many(self.relin, list(self.pairs))
+
+
 Job = Union[
     MultiplyJob,
     RingTransformJob,
     ConvolveJob,
     DGHVMultJob,
     RLWEMultiplyPlainJob,
+    RLWEMultiplyJob,
 ]
 
 
@@ -676,5 +700,6 @@ __all__ = [
     "ConvolveJob",
     "DGHVMultJob",
     "RLWEMultiplyPlainJob",
+    "RLWEMultiplyJob",
     "as_completed",
 ]

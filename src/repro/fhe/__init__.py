@@ -1,13 +1,21 @@
-"""DGHV fully homomorphic encryption over the integers.
+"""Homomorphic encryption workloads for the accelerator.
 
 The workload that motivates the accelerator (paper Sections I, III):
 the 786,432-bit operands of the SSA multiplier "correspond to the small
 security parameter setting for DGHV adopted in various research
-papers".  This package implements the van Dijk–Gentry–Halevi–
-Vaikuntanathan scheme (symmetric and public-key variants) with a
-pluggable big-integer multiplier, so ciphertext products can be routed
-through :class:`repro.ssa.SSAMultiplier` or the accelerator model in
-:mod:`repro.hw.accelerator`.
+papers".  This package implements two schemes behind one
+:class:`repro.fhe.ops.HEScheme` protocol:
+
+- the van Dijk–Gentry–Halevi–Vaikuntanathan scheme over the integers
+  (symmetric and public-key variants) with a pluggable big-integer
+  multiplier, so ciphertext products can be routed through
+  :class:`repro.ssa.SSAMultiplier` or the accelerator model in
+  :mod:`repro.hw.accelerator`;
+- a BV-style RLWE scheme over ``Z_q[x]/(x^n + 1)`` — the lattice/LWE
+  direction the paper names in Section III — with ciphertext products
+  (relinearization key switching), BGV modulus switching and an
+  RNS/CRT residue representation, every ring product a negacyclic NTT
+  convolution on the engine.
 
 This is a *functional* reproduction of the workload — parameters are
 sized to exercise the accelerator, not to deliver cryptographic
@@ -19,13 +27,21 @@ below the security requirement, as documented in
 from repro.fhe.params import FHEParams, TOY, MEDIUM, SMALL_DGHV
 from repro.fhe.dghv import DGHV, KeyPair, Ciphertext
 from repro.fhe.ops import (
+    HEScheme,
     he_add,
     he_mult,
     he_mult_many,
     he_xor_and_eval,
     NoiseBudgetError,
 )
-from repro.fhe.rlwe import RLWE, RLWEParams, RLWECiphertext
+from repro.fhe.rlwe import (
+    RLWE,
+    RLWEParams,
+    RLWECiphertext,
+    RLWEKeyPair,
+    RelinKeys,
+    default_rns_primes,
+)
 
 __all__ = [
     "FHEParams",
@@ -35,6 +51,7 @@ __all__ = [
     "DGHV",
     "KeyPair",
     "Ciphertext",
+    "HEScheme",
     "he_add",
     "he_mult",
     "he_mult_many",
@@ -43,4 +60,7 @@ __all__ = [
     "RLWE",
     "RLWEParams",
     "RLWECiphertext",
+    "RLWEKeyPair",
+    "RelinKeys",
+    "default_rns_primes",
 ]

@@ -65,9 +65,9 @@ class Ciphertext:
         return self.noise_bits < self.params.eta - 2
 
     def __add__(self, other: "Ciphertext") -> "Ciphertext":
-        from repro.fhe.ops import he_add
+        from repro.fhe.ops import _he_add
 
-        return he_add(self, other)
+        return _he_add(self, other)
 
 
 def _centered_mod(value: int, modulus: int) -> int:
@@ -183,6 +183,58 @@ class DGHV:
     def decrypt(self, keys: KeyPair, ciphertext: Ciphertext) -> int:
         """``(c mod p) mod 2`` with the centered residue."""
         return _centered_mod(ciphertext.value, keys.secret) % 2
+
+    # -- HEScheme protocol ---------------------------------------------------
+
+    def keygen(self) -> KeyPair:
+        """:class:`repro.fhe.ops.HEScheme` spelling of
+        :meth:`generate_keys`."""
+        return self.generate_keys()
+
+    def encrypt_many(
+        self, keys: KeyPair, messages: List[int]
+    ) -> List[Ciphertext]:
+        """Encrypt a batch of bits (fresh randomness per bit)."""
+        return [self.encrypt(keys, message) for message in messages]
+
+    def decrypt_many(
+        self, keys: KeyPair, ciphertexts: List[Ciphertext]
+    ) -> List[int]:
+        return [self.decrypt(keys, ciphertext) for ciphertext in ciphertexts]
+
+    def add(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        """Homomorphic XOR (unreduced — pass through gates or
+        ``multiply`` with keys to fold mod ``x_0``)."""
+        from repro.fhe.ops import _he_add
+
+        return _he_add(x, y)
+
+    def multiply(
+        self, keys: KeyPair, x: Ciphertext, y: Ciphertext
+    ) -> Ciphertext:
+        """Homomorphic AND through the multiplier strategy, reduced
+        modulo ``x_0``."""
+        from repro.fhe.ops import _he_mult
+
+        return _he_mult(self, x, y, x0=keys.x0)
+
+    def multiply_many(self, keys: KeyPair, pairs) -> List[Ciphertext]:
+        """Batched homomorphic AND (one batched multiplier pass)."""
+        from repro.fhe.ops import _he_mult_many
+
+        return _he_mult_many(self, pairs, x0=keys.x0)
+
+    def noise_budget(self, keys: KeyPair, ciphertext: Ciphertext) -> float:
+        """Remaining headroom in bits below the ``eta - 2`` ceiling."""
+        return (self.params.eta - 2) - ciphertext.noise_bits
+
+    def xor_and_eval(
+        self, keys: KeyPair, bits_a, bits_b
+    ) -> List[int]:
+        """Demo circuit (see :func:`repro.fhe.ops._he_xor_and_eval`)."""
+        from repro.fhe.ops import _he_xor_and_eval
+
+        return _he_xor_and_eval(self, keys, bits_a, bits_b)
 
     def noise_of(self, keys: KeyPair, ciphertext: Ciphertext) -> int:
         """Exact noise magnitude (test/diagnostic use — needs the key)."""

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.fhe.dghv import DGHV, Ciphertext, KeyPair
-from repro.fhe.ops import he_add, he_mult
+from repro.fhe.ops import _he_add, _he_mult
 
 
 @dataclass
@@ -46,7 +46,7 @@ def he_not(
     """NOT a = a XOR 1."""
     if counter:
         counter.xor_gates += 1
-    return he_add(a, _one(scheme, keys), x0=keys.x0)
+    return _he_add(a, _one(scheme, keys), x0=keys.x0)
 
 
 def he_or(
@@ -60,8 +60,8 @@ def he_or(
     if counter:
         counter.and_gates += 1
         counter.xor_gates += 2
-    ab = he_mult(scheme, a, b, x0=keys.x0)
-    return he_add(he_add(a, b, x0=keys.x0), ab, x0=keys.x0)
+    ab = _he_mult(scheme, a, b, x0=keys.x0)
+    return _he_add(_he_add(a, b, x0=keys.x0), ab, x0=keys.x0)
 
 
 def he_nand(
@@ -76,7 +76,7 @@ def he_nand(
         counter.and_gates += 1
         counter.xor_gates += 1
     return he_not(
-        scheme, keys, he_mult(scheme, a, b, x0=keys.x0), counter=None
+        scheme, keys, _he_mult(scheme, a, b, x0=keys.x0), counter=None
     )
 
 
@@ -92,9 +92,9 @@ def he_mux(
     if counter:
         counter.and_gates += 1
         counter.xor_gates += 2
-    diff = he_add(if_one, if_zero, x0=keys.x0)
-    gated = he_mult(scheme, select, diff, x0=keys.x0)
-    return he_add(if_zero, gated, x0=keys.x0)
+    diff = _he_add(if_one, if_zero, x0=keys.x0)
+    gated = _he_mult(scheme, select, diff, x0=keys.x0)
+    return _he_add(if_zero, gated, x0=keys.x0)
 
 
 def he_eq(
@@ -107,7 +107,7 @@ def he_eq(
     """Bit equality: NOT (a XOR b)."""
     if counter:
         counter.xor_gates += 2
-    return he_not(scheme, keys, he_add(a, b, x0=keys.x0))
+    return he_not(scheme, keys, _he_add(a, b, x0=keys.x0))
 
 
 def encrypted_ripple_add(
@@ -132,19 +132,19 @@ def encrypted_ripple_add(
     out: List[Ciphertext] = []
     carry: Ciphertext = None
     for a, b in zip(bits_a, bits_b):
-        axb = he_add(a, b, x0=keys.x0)
+        axb = _he_add(a, b, x0=keys.x0)
         if counter:
             counter.xor_gates += 1
         if carry is None:
             out.append(axb)
-            carry = he_mult(scheme, a, b, x0=keys.x0)
+            carry = _he_mult(scheme, a, b, x0=keys.x0)
             if counter:
                 counter.and_gates += 1
             continue
-        out.append(he_add(axb, carry, x0=keys.x0))
-        generate = he_mult(scheme, a, b, x0=keys.x0)
-        propagate = he_mult(scheme, carry, axb, x0=keys.x0)
-        carry = he_add(generate, propagate, x0=keys.x0)
+        out.append(_he_add(axb, carry, x0=keys.x0))
+        generate = _he_mult(scheme, a, b, x0=keys.x0)
+        propagate = _he_mult(scheme, carry, axb, x0=keys.x0)
+        carry = _he_add(generate, propagate, x0=keys.x0)
         if counter:
             counter.and_gates += 2
             counter.xor_gates += 2
@@ -173,7 +173,7 @@ def encrypted_equality(
         if result is None:
             result = eq
         else:
-            result = he_mult(scheme, result, eq, x0=keys.x0)
+            result = _he_mult(scheme, result, eq, x0=keys.x0)
             if counter:
                 counter.and_gates += 1
     return result

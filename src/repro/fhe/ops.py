@@ -1,11 +1,22 @@
-"""Homomorphic operations on DGHV ciphertexts.
+"""The common FHE surface: the :class:`HEScheme` protocol and the
+legacy DGHV gate helpers.
 
-Addition is XOR and multiplication is AND on the encrypted bits; the
-ciphertext product — a gamma × gamma-bit integer multiplication — is
-exactly the operation the accelerator exists for, and is delegated to
-the scheme's ``multiplier`` strategy.
+Every scheme the engine can hand out (`engine.fhe(...)` returns DGHV
+for integer parameters and RLWE for ring parameters) implements one
+method vocabulary — :class:`HEScheme` — so circuits, the jobs layer
+and the serving tier can be written once:
 
-Noise bookkeeping: addition sums noises (≈ +1 bit), multiplication
+    ``keygen() → encrypt/decrypt → add/multiply → noise_budget``
+
+plus batched ``*_many`` forms of each.
+
+The original free functions (``he_add``, ``he_mult``, ``he_mult_many``,
+``he_xor_and_eval``) predate the protocol and survive as
+``DeprecationWarning`` shims delegating to the private implementations
+below; migrate to scheme methods (``scheme.add(a, b)``,
+``scheme.multiply(keys, a, b)``, ...) — see the README migration table.
+
+DGHV noise bookkeeping: addition sums noises (≈ +1 bit), multiplication
 sums noise bit-lengths; reduction modulo ``x_0`` adds a constant.  A
 :class:`NoiseBudgetError` is raised when an operation would exceed the
 decryptable budget, so circuits fail loudly instead of silently
@@ -14,9 +25,70 @@ corrupting results.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+import warnings
+from typing import (
+    Any,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.fhe.dghv import DGHV, Ciphertext, KeyPair
+
+
+@runtime_checkable
+class HEScheme(Protocol):
+    """The unified homomorphic-scheme vocabulary.
+
+    Both `engine.fhe` bindings — :class:`repro.fhe.DGHV` (integers,
+    bit plaintexts) and :class:`repro.fhe.RLWE` (rings, polynomial
+    plaintexts) — satisfy this protocol, so generic circuits can take
+    "any scheme".  ``key`` arguments are whatever the scheme's
+    ``keygen`` returned (the evaluation subset suffices where the
+    scheme supports it, e.g. RLWE relinearization keys).
+    """
+
+    def keygen(self) -> Any:
+        """Draw a fresh key object (secret + evaluation material)."""
+        ...
+
+    def encrypt(self, key: Any, message: Any) -> Any:
+        ...
+
+    def decrypt(self, key: Any, ciphertext: Any) -> Any:
+        ...
+
+    def encrypt_many(self, key: Any, messages: Sequence[Any]) -> List[Any]:
+        ...
+
+    def decrypt_many(
+        self, key: Any, ciphertexts: Sequence[Any]
+    ) -> List[Any]:
+        ...
+
+    def add(self, x: Any, y: Any) -> Any:
+        """Homomorphic plaintext addition (no key material needed)."""
+        ...
+
+    def multiply(self, key: Any, x: Any, y: Any) -> Any:
+        """Homomorphic plaintext product (key carries whatever the
+        scheme needs: ``x_0`` for DGHV, relinearization keys for
+        RLWE)."""
+        ...
+
+    def multiply_many(
+        self, key: Any, pairs: Sequence[Tuple[Any, Any]]
+    ) -> List[Any]:
+        """Batched :meth:`multiply` — the accelerator-shaped form."""
+        ...
+
+    def noise_budget(self, key: Any, ciphertext: Any) -> float:
+        """Remaining decryption headroom in bits (≤ 0: unreliable)."""
+        ...
 
 
 class NoiseBudgetError(RuntimeError):
@@ -32,7 +104,15 @@ def _check_budget(result: Ciphertext, operation: str) -> Ciphertext:
     return result
 
 
-def he_add(
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (HEScheme protocol)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _he_add(
     a: Ciphertext, b: Ciphertext, x0: Optional[int] = None
 ) -> Ciphertext:
     """Homomorphic XOR: ``c = c_a + c_b`` (optionally mod ``x_0``)."""
@@ -47,7 +127,7 @@ def he_add(
     )
 
 
-def he_mult(
+def _he_mult(
     scheme: DGHV,
     a: Ciphertext,
     b: Ciphertext,
@@ -110,14 +190,14 @@ def _product_batch(
     return [multiplier(a, b) for a, b in operand_pairs]
 
 
-def he_mult_many(
+def _he_mult_many(
     scheme: DGHV,
     pairs: Sequence[Tuple[Ciphertext, Ciphertext]],
     x0: Optional[int] = None,
 ) -> List[Ciphertext]:
     """Batched homomorphic AND: one result per ciphertext pair.
 
-    Same semantics and noise bookkeeping as looping :func:`he_mult`,
+    Same semantics and noise bookkeeping as looping :func:`_he_mult`,
     but the gamma × gamma-bit ciphertext products are computed in one
     batched SSA pass whenever the scheme's multiplier strategy supports
     it — the realistic FHE-server shape of the accelerator workload
@@ -144,7 +224,7 @@ def he_mult_many(
     return out
 
 
-def he_xor_and_eval(
+def _he_xor_and_eval(
     scheme: DGHV,
     keys: KeyPair,
     bits_a: Iterable[int],
@@ -156,7 +236,7 @@ def he_xor_and_eval(
     position homomorphically, decrypts, and returns the interleaved
     plaintext results — a one-call end-to-end exercise used by tests
     and the quickstart example.  The AND gates (the accelerator
-    workload) are evaluated as one :func:`he_mult_many` batch.
+    workload) are evaluated as one :func:`_he_mult_many` batch.
     """
     encrypted = []
     xors: List[Ciphertext] = []
@@ -164,10 +244,59 @@ def he_xor_and_eval(
         ca = scheme.encrypt(keys, bit_a)
         cb = scheme.encrypt(keys, bit_b)
         encrypted.append((ca, cb))
-        xors.append(he_add(ca, cb, x0=keys.x0))
-    ands = he_mult_many(scheme, encrypted, x0=keys.x0)
+        xors.append(_he_add(ca, cb, x0=keys.x0))
+    ands = _he_mult_many(scheme, encrypted, x0=keys.x0)
     out: List[int] = []
     for c_xor, c_and in zip(xors, ands):
         out.append(scheme.decrypt(keys, c_xor))
         out.append(scheme.decrypt(keys, c_and))
     return out
+
+
+# -- deprecation shims -------------------------------------------------------
+#
+# The pre-HEScheme free-function API.  Every shim is behavior-identical
+# to its private implementation; new code should call the scheme
+# methods instead (``scheme.add(a, b)``, ``scheme.multiply(keys, a, b)``,
+# ``scheme.multiply_many(keys, pairs)``).
+
+
+def he_add(
+    a: Ciphertext, b: Ciphertext, x0: Optional[int] = None
+) -> Ciphertext:
+    """Deprecated: use ``scheme.add(a, b)`` (reduce mod ``x_0`` by
+    passing the full scheme key to ``multiply``/gates instead)."""
+    _deprecated("he_add", "DGHV.add")
+    return _he_add(a, b, x0=x0)
+
+
+def he_mult(
+    scheme: DGHV,
+    a: Ciphertext,
+    b: Ciphertext,
+    x0: Optional[int] = None,
+) -> Ciphertext:
+    """Deprecated: use ``scheme.multiply(keys, a, b)``."""
+    _deprecated("he_mult", "DGHV.multiply")
+    return _he_mult(scheme, a, b, x0=x0)
+
+
+def he_mult_many(
+    scheme: DGHV,
+    pairs: Sequence[Tuple[Ciphertext, Ciphertext]],
+    x0: Optional[int] = None,
+) -> List[Ciphertext]:
+    """Deprecated: use ``scheme.multiply_many(keys, pairs)``."""
+    _deprecated("he_mult_many", "DGHV.multiply_many")
+    return _he_mult_many(scheme, pairs, x0=x0)
+
+
+def he_xor_and_eval(
+    scheme: DGHV,
+    keys: KeyPair,
+    bits_a: Iterable[int],
+    bits_b: Iterable[int],
+) -> List[int]:
+    """Deprecated: use ``DGHV.xor_and_eval(keys, bits_a, bits_b)``."""
+    _deprecated("he_xor_and_eval", "DGHV.xor_and_eval")
+    return _he_xor_and_eval(scheme, keys, bits_a, bits_b)

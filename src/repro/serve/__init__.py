@@ -32,6 +32,7 @@ from repro.serve.ops import (
     DGHVMultOp,
     MultiplyOp,
     RingTransformOp,
+    RLWEMultiplyOp,
     RLWEMultiplyPlainOp,
     ServiceOp,
     decode_op,
@@ -70,6 +71,7 @@ __all__ = [
     "RingTransformOp",
     "ConvolveOp",
     "DGHVMultOp",
+    "RLWEMultiplyOp",
     "RLWEMultiplyPlainOp",
     "OPS",
     "decode_op",

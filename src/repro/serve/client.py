@@ -30,6 +30,7 @@ from repro.serve.ops import (
     DGHVMultOp,
     MultiplyOp,
     RingTransformOp,
+    RLWEMultiplyOp,
     RLWEMultiplyPlainOp,
     ServiceOp,
 )
@@ -126,6 +127,13 @@ class ServiceClient:
         return self.call(
             RLWEMultiplyPlainOp.of(params, ciphertexts, plains),
             **kwargs,
+        )
+
+    def rlwe_multiply(self, params, relin, pairs, **kwargs) -> Response:
+        """Ciphertext-by-ciphertext products under ``relin`` keys
+        (an :class:`repro.fhe.rlwe.RelinKeys` or a full key pair)."""
+        return self.call(
+            RLWEMultiplyOp.of(params, relin, pairs), **kwargs
         )
 
 

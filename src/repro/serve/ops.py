@@ -629,6 +629,185 @@ class RLWEMultiplyPlainOp(ServiceOp):
         ]
 
 
+# -- RLWE ciphertext products ------------------------------------------------
+
+
+def _decode_rlwe_params(payload: dict):
+    """Shared RLWE parameter decode (single-modulus and RNS)."""
+    from repro.fhe.rlwe import RLWEParams
+
+    raw_primes = payload.get("rns_primes")
+    if raw_primes is not None:
+        if not isinstance(raw_primes, list) or not all(
+            isinstance(q, int) for q in raw_primes
+        ):
+            raise ProtocolError("rns_primes must be a list of integers")
+        raw_primes = tuple(raw_primes)
+    try:
+        params = RLWEParams(
+            n=int(_require(payload, "n")),
+            t=int(_require(payload, "t")),
+            noise_bound=int(payload.get("noise_bound", 8)),
+            rns_primes=raw_primes,
+            relin_base=int(payload.get("relin_base", 16)),
+        )
+        params.validate()
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"bad RLWE params: {error}") from None
+    return params
+
+
+class RLWEMultiplyOp(ServiceOp):
+    """Batched RLWE ciphertext-by-ciphertext products (tensor +
+    relinearization).
+
+    Payload: the :func:`_decode_rlwe_params` fields (``n``, ``t``,
+    ``noise_bound``, optional ``rns_primes``/``relin_base``), a
+    ``relin`` object (``RelinKeys.to_payload()`` — the evaluator key
+    material, never the secret) and ``pairs``:
+    ``[[[c0, c1], [d0, d1]], ...]`` where a component is a flat
+    coefficient list (single-modulus) or a ``level × n`` list of
+    residue-channel rows (RNS).  Result: ``[[c0, c1], ...]`` in the
+    same component encoding.  The coalesce key carries the plan shape
+    *and* a digest of the relinearization keys, so only requests
+    evaluating under the same keyset share a batched
+    ``multiply_many`` pass.
+    """
+
+    name = "rlwe-multiply"
+
+    def __init__(self, params, relin, pairs):
+        self.params = params
+        self.relin = relin
+        self.pairs = list(pairs)
+        if not self.pairs:
+            raise ProtocolError("rlwe-multiply needs >= 1 pair")
+        levels = {x.level for pair in self.pairs for x in pair}
+        if len(levels) != 1:
+            raise ProtocolError(
+                "all ciphertexts must sit at the same chain level"
+            )
+        self.level = levels.pop()
+
+    @property
+    def count(self) -> int:
+        return len(self.pairs)
+
+    def coalesce_key(self) -> Tuple:
+        p = self.params
+        return (
+            "rlwe-multiply",
+            p.n,
+            p.t,
+            p.noise_bound,
+            p.rns_primes,
+            p.relin_base,
+            self.level,
+            self.relin.digest(),
+        )
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RLWEMultiplyOp":
+        from repro.fhe.rlwe import RelinKeys, RLWECiphertext
+        from repro.field.vector import to_field_array, to_field_matrix
+
+        params = _decode_rlwe_params(payload)
+        raw_relin = _require(payload, "relin")
+        if not isinstance(raw_relin, dict):
+            raise ProtocolError("relin must be an object")
+        try:
+            relin = RelinKeys.from_payload(params, raw_relin)
+        except (TypeError, ValueError) as error:
+            raise ProtocolError(f"bad relin keys: {error}") from None
+        raw_pairs = _require(payload, "pairs")
+        if not isinstance(raw_pairs, list):
+            raise ProtocolError("pairs must be a list")
+
+        def component(raw, level: int):
+            rows = _int_rows(raw, "ciphertext component")
+            if any(len(row) != params.n for row in rows):
+                raise ProtocolError(
+                    f"component rows must have {params.n} coefficients"
+                )
+            if params.is_rns:
+                if len(rows) != level:
+                    raise ProtocolError(
+                        f"RNS components must carry {level} channel rows"
+                    )
+                return to_field_matrix(rows)
+            if len(rows) != 1:
+                raise ProtocolError(
+                    "single-modulus components must be flat rows"
+                )
+            return to_field_array(rows[0])
+
+        def level_of(raw) -> int:
+            if not params.is_rns:
+                return 1
+            rows = _int_rows(raw, "ciphertext component")
+            level = len(rows)
+            if not 1 <= level <= params.level_count:
+                raise ProtocolError(
+                    "RNS component row count must match a chain level"
+                )
+            return level
+
+        pairs = []
+        for raw in raw_pairs:
+            if not isinstance(raw, list) or len(raw) != 2:
+                raise ProtocolError("each pair must be [ct, ct]")
+            decoded = []
+            for raw_ct in raw:
+                if not isinstance(raw_ct, list) or len(raw_ct) != 2:
+                    raise ProtocolError(
+                        "each ciphertext must be [c0, c1]"
+                    )
+                level = level_of(raw_ct[0])
+                decoded.append(
+                    RLWECiphertext(
+                        c0=component(raw_ct[0], level),
+                        c1=component(raw_ct[1], level),
+                        params=params,
+                        level=level if params.is_rns else None,
+                    )
+                )
+            pairs.append(tuple(decoded))
+        return cls(params=params, relin=relin, pairs=pairs)
+
+    @classmethod
+    def of(cls, params, relin, pairs) -> "RLWEMultiplyOp":
+        from repro.fhe.rlwe import RLWEKeyPair
+
+        if isinstance(relin, RLWEKeyPair):
+            relin = relin.relin
+        return cls(params=params, relin=relin, pairs=pairs)
+
+    @staticmethod
+    def merge(ops: Sequence["RLWEMultiplyOp"]) -> Job:
+        from repro.engine.jobs import RLWEMultiplyJob
+
+        pairs: List[Tuple[Any, Any]] = []
+        for op in ops:
+            pairs.extend(op.pairs)
+        return RLWEMultiplyJob(
+            params=ops[0].params,
+            relin=ops[0].relin,
+            pairs=tuple(pairs),
+        )
+
+    @staticmethod
+    def split(ops: Sequence["RLWEMultiplyOp"], result) -> List[Any]:
+        return _split_by_counts(ops, result)
+
+    def encode_result(self, result) -> Any:
+        def encode(component) -> Any:
+            if component.ndim == 1:
+                return [int(v) for v in component]
+            return [[int(v) for v in row] for row in component]
+
+        return [[encode(ct.c0), encode(ct.c1)] for ct in result]
+
+
 #: Registered op name → class.
 OPS: Dict[str, Type[ServiceOp]] = {
     op.name: op
@@ -638,6 +817,7 @@ OPS: Dict[str, Type[ServiceOp]] = {
         ConvolveOp,
         DGHVMultOp,
         RLWEMultiplyPlainOp,
+        RLWEMultiplyOp,
     )
 }
 
@@ -662,6 +842,7 @@ __all__ = [
     "ConvolveOp",
     "DGHVMultOp",
     "RLWEMultiplyPlainOp",
+    "RLWEMultiplyOp",
     "OPS",
     "decode_op",
 ]

@@ -178,7 +178,7 @@ def _check_timing() -> CheckResult:
 
 def _check_fhe() -> CheckResult:
     from repro.fhe.dghv import DGHV
-    from repro.fhe.ops import he_add, he_mult
+    from repro.fhe.ops import _he_add, _he_mult
     from repro.fhe.params import TOY
 
     scheme = DGHV(TOY, rng=random.Random(5))
@@ -187,9 +187,9 @@ def _check_fhe() -> CheckResult:
     for a in (0, 1):
         for b in (0, 1):
             ca, cb = scheme.encrypt(keys, a), scheme.encrypt(keys, b)
-            ok &= scheme.decrypt(keys, he_add(ca, cb, x0=keys.x0)) == a ^ b
+            ok &= scheme.decrypt(keys, _he_add(ca, cb, x0=keys.x0)) == a ^ b
             ok &= (
-                scheme.decrypt(keys, he_mult(scheme, ca, cb, x0=keys.x0))
+                scheme.decrypt(keys, _he_mult(scheme, ca, cb, x0=keys.x0))
                 == a & b
             )
     return CheckResult("DGHV encrypt/XOR/AND/decrypt truth tables", ok)

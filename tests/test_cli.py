@@ -130,6 +130,110 @@ class TestServeClientCLI:
         with pytest.raises(SystemExit):
             main(["serve", "--max-queue", "0", "--max-requests", "1"])
 
+    def test_client_submit_rlwe_multiply(self, capsys):
+        """`repro client submit --op rlwe-multiply` round trip: the
+        returned ciphertext decrypts to the plaintext ring product."""
+        import random
+
+        from repro.fhe.rlwe import RLWE, RLWECiphertext, RLWEParams
+        from repro.field.vector import to_field_array
+
+        params = RLWEParams(n=64, t=17, noise_bound=4)
+        scheme = RLWE(params, rng=random.Random(53))
+        keys = scheme.keygen()
+        rng = random.Random(54)
+        m1 = [rng.randrange(params.t) for _ in range(params.n)]
+        m2 = [rng.randrange(params.t) for _ in range(params.n)]
+        c1, c2 = scheme.encrypt_many(keys, [m1, m2])
+        payload = json.dumps(
+            {
+                "n": params.n,
+                "t": params.t,
+                "noise_bound": params.noise_bound,
+                "relin": keys.relin.to_payload(),
+                "pairs": [
+                    [
+                        [
+                            [int(v) for v in c1.c0],
+                            [int(v) for v in c1.c1],
+                        ],
+                        [
+                            [int(v) for v in c2.c0],
+                            [int(v) for v in c2.c1],
+                        ],
+                    ]
+                ],
+            }
+        )
+
+        src = Path(__file__).parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--max-requests",
+                "1",
+                "--max-queue",
+                "16",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = server.stdout.readline()
+            match = re.search(r"listening on [\d.]+:(\d+)", banner)
+            assert match, f"no listening banner: {banner!r}"
+            port = match.group(1)
+            assert (
+                main(
+                    [
+                        "client",
+                        "submit",
+                        "--port",
+                        port,
+                        "--op",
+                        "rlwe-multiply",
+                        "--payload",
+                        payload,
+                    ]
+                )
+                == 0
+            )
+            body = json.loads(capsys.readouterr().out)
+            assert body["status"] == "ok"
+            (raw_c0, raw_c1), = body["result"]
+            product = RLWECiphertext(
+                c0=to_field_array(raw_c0),
+                c1=to_field_array(raw_c1),
+                params=params,
+            )
+            truth = [0] * params.n
+            for i in range(params.n):
+                for j in range(params.n):
+                    k = i + j
+                    if k < params.n:
+                        truth[k] += m1[i] * m2[j]
+                    else:
+                        truth[k - params.n] -= m1[i] * m2[j]
+            assert scheme.decrypt(keys, product) == [
+                x % params.t for x in truth
+            ]
+            assert server.wait(timeout=60) == 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+            server.stdout.close()
+
     def test_serve_and_client_roundtrip(self, capsys):
         """End-to-end smoke: `repro serve` + `repro client submit|stats`.
 

@@ -107,3 +107,56 @@ class TestSSABackedFHE:
                 ca, cb = scheme.encrypt(keys, a), scheme.encrypt(keys, b)
                 c = he_mult(scheme, ca, cb, x0=keys.x0)
                 assert scheme.decrypt(keys, c) == (a & b)
+
+
+class TestDeprecationShims:
+    """The pre-HEScheme free functions warn but stay behavior-identical."""
+
+    def test_he_add_warns_and_delegates(self, scheme, keys):
+        ca = scheme.encrypt(keys, 1)
+        cb = scheme.encrypt(keys, 1)
+        with pytest.warns(DeprecationWarning, match="he_add"):
+            shimmed = he_add(ca, cb, x0=keys.x0)
+        direct = scheme.add(ca, cb)
+        assert shimmed.value == (ca.value + cb.value) % keys.x0
+        assert shimmed.noise_bits == direct.noise_bits
+        assert scheme.decrypt(keys, shimmed) == 0
+
+    def test_he_mult_warns_and_matches_protocol_method(
+        self, scheme, keys
+    ):
+        ca = scheme.encrypt(keys, 1)
+        cb = scheme.encrypt(keys, 1)
+        with pytest.warns(DeprecationWarning, match="he_mult"):
+            shimmed = he_mult(scheme, ca, cb, x0=keys.x0)
+        direct = scheme.multiply(keys, ca, cb)
+        assert shimmed.value == direct.value
+        assert shimmed.noise_bits == direct.noise_bits
+
+    def test_he_mult_many_warns_and_matches(self, scheme, keys):
+        from repro.fhe.ops import he_mult_many
+
+        pairs = [
+            (scheme.encrypt(keys, 1), scheme.encrypt(keys, 1)),
+            (scheme.encrypt(keys, 1), scheme.encrypt(keys, 0)),
+        ]
+        with pytest.warns(DeprecationWarning, match="he_mult_many"):
+            shimmed = he_mult_many(scheme, pairs, x0=keys.x0)
+        direct = scheme.multiply_many(keys, pairs)
+        assert [c.value for c in shimmed] == [c.value for c in direct]
+
+    def test_he_xor_and_eval_warns(self, scheme, keys):
+        with pytest.warns(DeprecationWarning, match="he_xor_and_eval"):
+            got = he_xor_and_eval(scheme, keys, [1], [1])
+        assert got == [0, 1]
+
+    def test_protocol_methods_do_not_warn(self, scheme, keys, recwarn):
+        ca = scheme.encrypt(keys, 1)
+        cb = scheme.encrypt(keys, 0)
+        scheme.add(ca, cb)
+        scheme.multiply(keys, ca, cb)
+        scheme.multiply_many(keys, [(ca, cb)])
+        deprecations = [
+            w for w in recwarn if w.category is DeprecationWarning
+        ]
+        assert not deprecations

@@ -1,0 +1,455 @@
+"""The full RLWE homomorphic pipeline, checked against schoolbook truth.
+
+Acceptance invariants of the ciphertext×ciphertext pipeline:
+
+- tensor + relinearization decrypts to the schoolbook negacyclic
+  product of the plaintexts (hypothesis-driven, single-modulus and
+  RNS);
+- BGV modulus switching preserves the plaintext and restores relative
+  noise budget, enabling depth ≥ 2;
+- the RNS channel arithmetic is the CRT image of single-modulus
+  arithmetic over ``Z_q`` (big-int cross-check);
+- the pipeline is bit-identical across ``software``, ``software-mp``
+  and ``hw-model`` backends, with hw-model reporting cycle counts for
+  the RLWE ring products;
+- both `engine.fhe` bindings satisfy the :class:`HEScheme` protocol;
+- ``RLWEParams`` has frozen-hash/pickle parity with
+  ``ExecutionConfig``.
+"""
+
+import math
+import pickle
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Engine, ExecutionConfig
+from repro.fhe.dghv import DGHV
+from repro.fhe.ops import HEScheme
+from repro.fhe.params import TOY
+from repro.fhe.rlwe import (
+    RLWE,
+    RLWECiphertext,
+    RLWEKeyPair,
+    RLWEParams,
+    RelinKeys,
+    default_rns_primes,
+    _is_prime,
+)
+from repro.field.solinas import P
+
+
+def school_negacyclic(a, b, modulus):
+    """Schoolbook product in ``Z_modulus[x]/(x^n + 1)`` (exact ints)."""
+    n = len(a)
+    out = [0] * n
+    for i in range(n):
+        for j in range(n):
+            k = i + j
+            if k < n:
+                out[k] += a[i] * b[j]
+            else:
+                out[k - n] -= a[i] * b[j]
+    return [x % modulus for x in out]
+
+
+def random_message(rng, params):
+    return [rng.randrange(params.t) for _ in range(params.n)]
+
+
+SINGLE = RLWEParams(n=32, t=17, noise_bound=4)
+RNS = RLWEParams(
+    n=32, t=17, noise_bound=4, rns_primes=default_rns_primes(32, 17, 3)
+)
+
+
+# -- hypothesis round trips -------------------------------------------------
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_multiply_relinearize_matches_schoolbook_single(seed):
+    rng = random.Random(seed)
+    scheme = RLWE(SINGLE, rng=random.Random(seed ^ 0x5EED))
+    keys = scheme.keygen()
+    m1 = random_message(rng, SINGLE)
+    m2 = random_message(rng, SINGLE)
+    c1, c2 = scheme.encrypt_many(keys, [m1, m2])
+    truth = school_negacyclic(m1, m2, SINGLE.t)
+    tensored = scheme.tensor(c1, c2)
+    assert tensored.degree == 3
+    assert scheme.decrypt(keys, tensored) == truth
+    relinearized = scheme.relinearize(keys, tensored)
+    assert relinearized.degree == 2
+    assert scheme.decrypt(keys, relinearized) == truth
+    # multiply == tensor ∘ relinearize, and only needs the evaluation
+    # keys (never the secret).
+    assert scheme.decrypt(keys, scheme.multiply(keys.relin, c1, c2)) == truth
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_multiply_and_mod_switch_match_schoolbook_rns(seed):
+    rng = random.Random(seed)
+    scheme = RLWE(RNS, rng=random.Random(seed ^ 0xC4A7))
+    keys = scheme.keygen()
+    m1 = random_message(rng, RNS)
+    m2 = random_message(rng, RNS)
+    c1, c2 = scheme.encrypt_many(keys, [m1, m2])
+    truth = school_negacyclic(m1, m2, RNS.t)
+    product = scheme.multiply(keys, c1, c2)
+    assert scheme.decrypt(keys, product) == truth
+    switched = scheme.mod_switch(product)
+    assert switched.level == product.level - 1
+    assert scheme.decrypt(keys, switched) == truth
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_mod_switch_preserves_fresh_plaintexts(seed):
+    rng = random.Random(seed)
+    scheme = RLWE(RNS, rng=random.Random(seed + 7))
+    keys = scheme.keygen()
+    message = random_message(rng, RNS)
+    ct = scheme.encrypt(keys, message)
+    while ct.level > 1:
+        ct = scheme.mod_switch(ct)
+        assert scheme.decrypt(keys, ct) == message
+
+
+# -- depth and noise management --------------------------------------------
+
+
+def test_depth_two_with_modulus_switching():
+    """The acceptance-criterion circuit: ((m1·m2) switched) · m3."""
+    scheme = RLWE(RNS, rng=random.Random(0xDEE9))
+    keys = scheme.keygen()
+    rng = random.Random(21)
+    m1, m2, m3 = (random_message(rng, RNS) for _ in range(3))
+    c1, c2, c3 = scheme.encrypt_many(keys, [m1, m2, m3])
+    level1 = scheme.mod_switch(scheme.multiply(keys, c1, c2))
+    c3_level = scheme.mod_switch(c3)
+    deep = scheme.multiply(keys, level1, c3_level)
+    truth = school_negacyclic(
+        school_negacyclic(m1, m2, RNS.t), m3, RNS.t
+    )
+    assert scheme.decrypt(keys, deep) == truth
+    assert scheme.noise_budget(keys, deep) > 0
+
+
+def test_noise_budget_shrinks_with_depth_and_recovers_relatively():
+    scheme = RLWE(RNS, rng=random.Random(77))
+    keys = scheme.keygen()
+    rng = random.Random(78)
+    c1 = scheme.encrypt(keys, random_message(rng, RNS))
+    c2 = scheme.encrypt(keys, random_message(rng, RNS))
+    fresh = scheme.noise_budget(keys, c1)
+    product = scheme.multiply(keys, c1, c2)
+    after_mult = scheme.noise_budget(keys, product)
+    assert after_mult < fresh
+    # Switching scales noise down by ~q_k: the *absolute* noise
+    # magnitude must shrink enough that the next multiply fits.
+    switched = scheme.mod_switch(product)
+    q_dropped = math.log2(RNS.rns_primes[product.level - 1])
+    after_switch = scheme.noise_budget(keys, switched)
+    # Budget is relative to the (now smaller) modulus: it must not
+    # collapse — switching costs at most a few bits of budget.
+    assert after_switch > after_mult - 8
+    # Noise growth of one multiplication stays within the analytic
+    # relinearization bound (~ n·q_max·t·noise_bound·k plus tensor
+    # growth): conservatively, budget loss under 2·log2(n·t·q_max·k).
+    q_max = max(RNS.rns_primes)
+    bound = 2 * math.log2(RNS.n * RNS.t * q_max * len(RNS.rns_primes))
+    assert fresh - after_mult < bound
+
+
+def test_multiply_at_last_level_is_rejected():
+    scheme = RLWE(RNS, rng=random.Random(5))
+    keys = scheme.keygen()
+    rng = random.Random(6)
+    ct = scheme.encrypt(keys, random_message(rng, RNS))
+    while ct.level > 1:
+        ct = scheme.mod_switch(ct)
+    with pytest.raises(ValueError, match="no relinearization key"):
+        scheme.multiply(keys, ct, ct)
+
+
+def test_mod_switch_requires_rns():
+    scheme = RLWE(SINGLE, rng=random.Random(7))
+    keys = scheme.keygen()
+    ct = scheme.encrypt(keys, [0] * SINGLE.n)
+    with pytest.raises(ValueError, match="RNS"):
+        scheme.mod_switch(ct)
+
+
+# -- RNS ≡ single-modulus (CRT image) --------------------------------------
+
+
+def _crt_lift_component(component, primes):
+    """Lift ``(k, n)`` residue rows to integers mod ``q = Π primes``."""
+    q = math.prod(primes)
+    out = []
+    for j in range(component.shape[1]):
+        x = 0
+        for i, prime in enumerate(primes):
+            qhat = q // prime
+            x += int(component[i, j]) * qhat * pow(qhat % prime, -1, prime)
+        out.append(x % q)
+    return out
+
+
+def test_rns_channels_are_crt_image_of_single_modulus_arithmetic():
+    """Decrypting via per-channel arithmetic must agree with lifting
+    the ciphertext to ``Z_q`` and running schoolbook big-int ring
+    arithmetic there — the CRT isomorphism, checked end to end."""
+    scheme = RLWE(RNS, rng=random.Random(0x11CE))
+    keys = scheme.keygen()
+    rng = random.Random(91)
+    m1 = random_message(rng, RNS)
+    m2 = random_message(rng, RNS)
+    c1, c2 = scheme.encrypt_many(keys, [m1, m2])
+    product = scheme.multiply(keys, c1, c2)
+    primes = RNS.rns_primes[: product.level]
+    q = math.prod(primes)
+    c0 = _crt_lift_component(product.c0, primes)
+    c1_int = _crt_lift_component(product.c1, primes)
+    secret = [int(v) for v in keys.secret]
+    phase = [
+        (a + b) % q
+        for a, b in zip(c0, school_negacyclic(c1_int, secret, q))
+    ]
+    centered = [x - q if x > q // 2 else x for x in phase]
+    assert [x % RNS.t for x in centered] == school_negacyclic(
+        m1, m2, RNS.t
+    )
+
+
+# -- batched forms ----------------------------------------------------------
+
+
+def test_multiply_many_bit_identical_to_loop():
+    scheme = RLWE(RNS, rng=random.Random(0xBA7C4))
+    keys = scheme.keygen()
+    rng = random.Random(12)
+    cts = scheme.encrypt_many(
+        keys, [random_message(rng, RNS) for _ in range(6)]
+    )
+    pairs = [(cts[i], cts[i + 1]) for i in range(0, 6, 2)]
+    batched = scheme.multiply_many(keys, pairs)
+    for (x, y), got in zip(pairs, batched):
+        want = scheme.relinearize(keys, scheme.tensor(x, y))
+        assert np.array_equal(got.c0, want.c0)
+        assert np.array_equal(got.c1, want.c1)
+    switched = scheme.mod_switch_many(batched)
+    for ct, want in zip(switched, batched):
+        assert np.array_equal(
+            ct.c0, scheme.mod_switch(want).c0
+        )
+    assert scheme.multiply_many(keys, []) == []
+    assert scheme.mod_switch_many([]) == []
+    assert scheme.tensor_many([]) == []
+    assert scheme.relinearize_many(keys, []) == []
+
+
+def test_tensor_rejects_degree_two_operands():
+    scheme = RLWE(SINGLE, rng=random.Random(3))
+    keys = scheme.keygen()
+    ct = scheme.encrypt(keys, [1] * SINGLE.n)
+    tensored = scheme.tensor(ct, ct)
+    with pytest.raises(ValueError, match="degree-1"):
+        scheme.tensor(tensored, ct)
+    with pytest.raises(ValueError, match="degree-2"):
+        scheme.relinearize(keys, ct)
+
+
+# -- backend bit-identity ---------------------------------------------------
+
+
+class TestBackendBitIdentity:
+    PARAMS = RLWEParams(
+        n=64, t=17, noise_bound=4, rns_primes=default_rns_primes(64, 17, 2)
+    )
+
+    def _pipeline(self, backend):
+        engine = Engine(config=ExecutionConfig(), backend=backend)
+        try:
+            scheme = engine.fhe(self.PARAMS, rng=random.Random(314))
+            keys = scheme.keygen()
+            rng = random.Random(15)
+            m1 = random_message(rng, self.PARAMS)
+            m2 = random_message(rng, self.PARAMS)
+            c1, c2 = scheme.encrypt_many(keys, [m1, m2])
+            product = scheme.multiply(keys, c1, c2)
+            switched = scheme.mod_switch(product)
+            report = engine.last_report
+            plain = scheme.decrypt(keys, switched)
+            return (
+                (product.c0, product.c1, switched.c0, switched.c1),
+                plain,
+                report,
+                school_negacyclic(m1, m2, self.PARAMS.t),
+            )
+        finally:
+            engine.close()
+
+    def test_software_mp_and_hw_model_match_software(self):
+        base, plain, _, truth = self._pipeline("software")
+        assert plain == truth
+        for backend in ("software-mp", "hw-model"):
+            arrays, other_plain, _, _ = self._pipeline(backend)
+            assert other_plain == plain
+            for a, b in zip(base, arrays):
+                assert np.array_equal(a, b), backend
+
+    def test_hw_model_reports_rlwe_ring_product_cycles(self):
+        _, _, report, _ = self._pipeline("hw-model")
+        assert report is not None
+        total = report.total_cycles
+        if callable(total):
+            total = total()
+        assert total > 0
+
+
+# -- engine binding ---------------------------------------------------------
+
+
+def test_engine_bound_scheme_routes_ring_products_through_backend():
+    engine = Engine()
+    scheme = engine.fhe(
+        RLWEParams(n=64, t=17, noise_bound=4), rng=random.Random(1)
+    )
+    assert scheme.engine is engine
+    free = RLWE(
+        RLWEParams(n=64, t=17, noise_bound=4), rng=random.Random(1)
+    )
+    keys = scheme.keygen()
+    keys_free = free.keygen()
+    assert np.array_equal(keys.secret, keys_free.secret)
+    rng = random.Random(2)
+    message = [rng.randrange(17) for _ in range(64)]
+    bound_ct = scheme.multiply(
+        keys, *scheme.encrypt_many(keys, [message, message])
+    )
+    free_ct = free.multiply(
+        keys_free, *free.encrypt_many(keys_free, [message, message])
+    )
+    assert np.array_equal(bound_ct.c0, free_ct.c0)
+    assert np.array_equal(bound_ct.c1, free_ct.c1)
+    engine.close()
+
+
+# -- HEScheme protocol ------------------------------------------------------
+
+
+def test_both_schemes_satisfy_hescheme_protocol():
+    rlwe = RLWE(SINGLE, rng=random.Random(0))
+    dghv = DGHV(TOY, rng=random.Random(0))
+    assert isinstance(rlwe, HEScheme)
+    assert isinstance(dghv, HEScheme)
+    engine = Engine()
+    assert isinstance(engine.fhe(), HEScheme)
+    assert isinstance(engine.fhe(SINGLE), HEScheme)
+    engine.close()
+
+
+def test_dghv_protocol_methods_roundtrip():
+    scheme = DGHV(TOY, rng=random.Random(41))
+    keys = scheme.keygen()
+    bits = [1, 0, 1, 1]
+    cts = scheme.encrypt_many(keys, bits)
+    assert scheme.decrypt_many(keys, cts) == bits
+    c_and = scheme.multiply(keys, cts[0], cts[2])
+    assert scheme.decrypt(keys, c_and) == 1
+    many = scheme.multiply_many(keys, [(cts[0], cts[1]), (cts[2], cts[3])])
+    assert scheme.decrypt_many(keys, many) == [0, 1]
+    assert scheme.noise_budget(keys, cts[0]) > 0
+    assert scheme.xor_and_eval(keys, [1, 0], [1, 1]) == [0, 1, 1, 0]
+
+
+# -- parameters -------------------------------------------------------------
+
+
+class TestRLWEParams:
+    def test_frozen_hash_and_pickle_parity(self):
+        """Same contract as ``ExecutionConfig``: hashable, equal by
+        value, pickle-stable (the shapes ``software-mp`` workers and
+        serve coalesce keys rely on)."""
+        params = RLWEParams(
+            n=64, t=17, noise_bound=4, rns_primes=[379624757, 379624519]
+        )
+        assert isinstance(params.rns_primes, tuple)  # normalized
+        twin = RLWEParams(
+            n=64,
+            t=17,
+            noise_bound=4,
+            rns_primes=(379624757, 379624519),
+        )
+        assert params == twin and hash(params) == hash(twin)
+        restored = pickle.loads(pickle.dumps(params))
+        assert restored == params and hash(restored) == hash(params)
+        config = ExecutionConfig()
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_validate_rejects_bad_chains(self):
+        with pytest.raises(ValueError, match="distinct"):
+            RLWEParams(
+                n=64, t=17, rns_primes=(379624757, 379624757)
+            ).validate()
+        with pytest.raises(ValueError, match="1 \\(mod t"):
+            RLWEParams(n=64, t=17, rns_primes=(379624741,)).validate()
+        with pytest.raises(ValueError, match="not prime"):
+            # 18 ≡ 1 (mod 17) but is composite.
+            RLWEParams(n=64, t=17, rns_primes=(35,)).validate()
+        with pytest.raises(ValueError, match="too large"):
+            RLWEParams(
+                n=64, t=17, rns_primes=(P - 2**32 + 1,)
+            ).validate()
+        with pytest.raises(ValueError, match="exceed the plaintext"):
+            RLWEParams(n=64, t=17, rns_primes=(2,)).validate()
+        with pytest.raises(ValueError, match="relin_base"):
+            RLWEParams(n=64, t=17, relin_base=0).validate()
+
+    def test_modulus_chain_accessors(self):
+        assert SINGLE.level_count == 1 and not SINGLE.is_rns
+        assert SINGLE.modulus() == P
+        assert RNS.level_count == 3 and RNS.is_rns
+        assert RNS.modulus() == math.prod(RNS.rns_primes)
+        assert RNS.modulus(1) == RNS.rns_primes[0]
+        with pytest.raises(ValueError):
+            RNS.modulus(4)
+        # Legacy MSB scaling factor survives for API compatibility.
+        assert RLWEParams(t=256).delta == P // 256
+
+
+def test_default_rns_primes_structure():
+    primes = default_rns_primes(64, 17, count=3)
+    assert len(primes) == len(set(primes)) == 3
+    for q in primes:
+        assert _is_prime(q)
+        assert q % 17 == 1
+        assert 64 * (q - 1) ** 2 <= (P - 1) // 2
+    with pytest.raises(ValueError):
+        default_rns_primes(64, 17, count=0)
+
+
+# -- relinearization keys ---------------------------------------------------
+
+def test_relin_keys_payload_roundtrip_and_digest():
+    scheme = RLWE(RNS, rng=random.Random(0xFACE))
+    keys = scheme.keygen()
+    restored = RelinKeys.from_payload(RNS, keys.relin.to_payload())
+    assert restored.digest() == keys.relin.digest()
+    assert sorted(restored.levels) == sorted(keys.relin.levels)
+    other = RLWE(RNS, rng=random.Random(0xFACE + 1)).keygen()
+    assert other.relin.digest() != keys.relin.digest()
+    # Relinearizing with the restored (wire-round-tripped) keys is
+    # bit-identical.
+    rng = random.Random(30)
+    c1, c2 = scheme.encrypt_many(
+        keys, [random_message(rng, RNS), random_message(rng, RNS)]
+    )
+    a = scheme.multiply(keys.relin, c1, c2)
+    b = scheme.multiply(restored, c1, c2)
+    assert np.array_equal(a.c0, b.c0) and np.array_equal(a.c1, b.c1)

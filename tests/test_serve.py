@@ -285,6 +285,77 @@ class TestCoalescing:
             assert np.array_equal(got.c0, want.c0)
             assert np.array_equal(got.c1, want.c1)
 
+    def test_rlwe_ct_multiply_coalesced_bit_identical(self):
+        from repro.fhe.rlwe import default_rns_primes
+        from repro.serve.ops import RLWEMultiplyOp
+
+        params = RLWEParams(
+            n=64,
+            t=17,
+            noise_bound=4,
+            rns_primes=default_rns_primes(64, 17, 2),
+        )
+        engine = Engine()
+        scheme = engine.fhe(params, rng=random.Random(19))
+        keys = scheme.keygen()
+        rng = random.Random(23)
+        messages = [
+            [rng.randrange(params.t) for _ in range(params.n)]
+            for _ in range(8)
+        ]
+        cts = scheme.encrypt_many(keys, messages)
+        pairs = [(cts[i], cts[i + 1]) for i in range(0, 8, 2)]
+        engine.close()
+        with _service(coalesce=False) as service:
+            client = ServiceClient(service)
+            oracle = [
+                client.rlwe_multiply(params, keys, [pair]).result[0]
+                for pair in pairs
+            ]
+        with _service() as service:
+            client = ServiceClient(service)
+            with service.scheduler.paused():
+                futures = [
+                    client.submit(
+                        RLWEMultiplyOp.of(params, keys, [pair]),
+                        tenant=f"t{i}",
+                    )
+                    for i, pair in enumerate(pairs)
+                ]
+            responses = [f.result(timeout=30) for f in futures]
+        assert all(r.ok for r in responses)
+        assert {r.coalesced for r in responses} == {4}
+        for response, want in zip(responses, oracle):
+            got = response.result[0]
+            assert np.array_equal(got.c0, want.c0)
+            assert np.array_equal(got.c1, want.c1)
+
+    def test_rlwe_ct_multiply_different_keysets_do_not_merge(self):
+        from repro.serve.ops import RLWEMultiplyOp
+
+        params = RLWEParams(n=64, t=17, noise_bound=4)
+        scheme_a = Engine().fhe(params, rng=random.Random(31))
+        keys_a = scheme_a.keygen()
+        scheme_b = Engine().fhe(params, rng=random.Random(32))
+        keys_b = scheme_b.keygen()
+        ct_a = scheme_a.encrypt(keys_a, [1] * params.n)
+        ct_b = scheme_b.encrypt(keys_b, [1] * params.n)
+        with _service() as service:
+            client = ServiceClient(service)
+            with service.scheduler.paused():
+                f_a = client.submit(
+                    RLWEMultiplyOp.of(params, keys_a, [(ct_a, ct_a)]),
+                    tenant="alice",
+                )
+                f_b = client.submit(
+                    RLWEMultiplyOp.of(params, keys_b, [(ct_b, ct_b)]),
+                    tenant="bob",
+                )
+            r_a = f_a.result(timeout=30)
+            r_b = f_b.result(timeout=30)
+        assert r_a.ok and r_b.ok
+        assert r_a.coalesced == 1 and r_b.coalesced == 1
+
     def test_different_keys_do_not_merge(self):
         with _service() as service:
             client = ServiceClient(service)
@@ -620,6 +691,78 @@ class TestTCPService:
                 assert response.result == [(i + 2) * (i + 3)]
         assert set(snapshot["tenants"]) >= {"alice", "bob", "carol"}
         assert snapshot["totals"]["completed"] == 18
+
+    def test_tcp_rlwe_multiply_roundtrip(self):
+        """Wire-level smoke: keygen → encrypt → submit rlwe-multiply
+        over TCP → decode → decrypt equals the schoolbook product."""
+        from repro.fhe.rlwe import (
+            RLWE,
+            RLWECiphertext,
+            default_rns_primes,
+        )
+        from repro.field.vector import to_field_matrix
+
+        params = RLWEParams(
+            n=64,
+            t=17,
+            noise_bound=4,
+            rns_primes=default_rns_primes(64, 17, 2),
+        )
+        scheme = RLWE(params, rng=random.Random(47))
+        keys = scheme.keygen()
+        rng = random.Random(48)
+        m1 = [rng.randrange(params.t) for _ in range(params.n)]
+        m2 = [rng.randrange(params.t) for _ in range(params.n)]
+        c1, c2 = scheme.encrypt_many(keys, [m1, m2])
+
+        def encode(ct):
+            return [
+                [[int(v) for v in row] for row in ct.c0],
+                [[int(v) for v in row] for row in ct.c1],
+            ]
+
+        payload = {
+            "n": params.n,
+            "t": params.t,
+            "noise_bound": params.noise_bound,
+            "rns_primes": list(params.rns_primes),
+            "relin": keys.relin.to_payload(),
+            "pairs": [[encode(c1), encode(c2)]],
+        }
+        service = _service()
+
+        async def scenario():
+            server = await ServiceServer(service, port=0).start()
+            async with await AsyncServiceClient.connect(
+                port=server.port, tenant="tcp-rlwe"
+            ) as client:
+                response = await client.submit("rlwe-multiply", payload)
+            server.request_stop()
+            await server.serve_until_done()
+            return response
+
+        try:
+            response = asyncio.run(scenario())
+        finally:
+            service.shutdown()
+        assert response.ok
+        (raw_c0, raw_c1), = response.result
+        product = RLWECiphertext(
+            c0=to_field_matrix(raw_c0),
+            c1=to_field_matrix(raw_c1),
+            params=params,
+            level=2,
+        )
+        truth = [0] * params.n
+        for i in range(params.n):
+            for j in range(params.n):
+                k = i + j
+                if k < params.n:
+                    truth[k] += m1[i] * m2[j]
+                else:
+                    truth[k - params.n] -= m1[i] * m2[j]
+        truth = [x % params.t for x in truth]
+        assert scheme.decrypt(keys, product) == truth
 
     def test_tcp_bad_payload_is_typed_error(self):
         service = _service()
